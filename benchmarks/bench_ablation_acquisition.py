@@ -1,0 +1,72 @@
+"""Ablation: acquisition exploration setting and surrogate architecture choice.
+
+Two design choices called out in DESIGN.md are exercised here:
+
+* the EI exploration parameter ``xi`` (balanced 0.05 vs exploration-heavy 1.0),
+  compared by the measured quality of the recommended candidates;
+* the message-passing layer type (EdgeConv -- the paper's HPO winner -- versus
+  the weighted GCN layer), compared by surrogate validation loss at equal
+  training budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.optimize import AcquisitionOptimizer
+from repro.core.surrogate import GraphNeuralSurrogate
+from repro.core.training import Trainer, TrainingConfig
+from repro.experiments.reporting import format_table
+
+
+def test_acquisition_xi_ablation(benchmark, pipeline_result):
+    """Measured metric of the candidates proposed with xi = 0.05 vs xi = 1.0."""
+    records = pipeline_result.bo_records
+
+    def summarise():
+        return {xi: {
+            "best": float(np.min([r.y_median for r in recs])),
+            "median": float(np.median([r.y_median for r in recs])),
+        } for xi, recs in records.items()}
+
+    summary = benchmark.pedantic(summarise, rounds=1, iterations=1)
+
+    rows = [[f"xi={xi:g}", values["best"], values["median"]]
+            for xi, values in sorted(summary.items())]
+    print()
+    print(format_table(["strategy", "best median y", "median of medians"], rows,
+                       title="Ablation: EI exploration parameter"))
+    # Both strategies must find at least one genuinely useful preconditioner.
+    assert min(values["best"] for values in summary.values()) < 1.0
+
+
+def test_surrogate_architecture_ablation(benchmark, pipeline_result):
+    """Validation loss of EdgeConv vs GCN surrogates at equal budget."""
+    dataset = pipeline_result.dataset
+    base_config = replace(
+        pipeline_result.profile.surrogate.with_dims(
+            node_dim=dataset.node_feature_dim, edge_dim=dataset.edge_feature_dim,
+            xa_dim=dataset.xa_dim, xm_dim=dataset.xm_dim),
+        graph_hidden=16, combined_hidden=16, xa_hidden=8, xm_hidden=8, dropout=0.0)
+    training = TrainingConfig(epochs=12, batch_size=64, learning_rate=5e-3,
+                              patience=12, seed=0)
+    train_idx, val_idx = dataset.split(0.2, seed=0)
+
+    def run_ablation():
+        losses = {}
+        for conv_type in ("edge", "gcn"):
+            model = GraphNeuralSurrogate(replace(base_config, conv_type=conv_type))
+            history = Trainer(training).fit(model, dataset,
+                                            train_indices=train_idx,
+                                            validation_indices=val_idx)
+            losses[conv_type] = history.best_validation_loss
+        return losses
+
+    losses = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(["conv type", "best validation loss"],
+                       [[k, v] for k, v in losses.items()],
+                       title="Ablation: message-passing layer type"))
+    assert all(np.isfinite(v) for v in losses.values())

@@ -1,0 +1,72 @@
+"""Ablation: MCMC preconditioning versus classical baselines.
+
+The paper motivates MCMCMI against incomplete factorisations and sparse
+approximate inverses; this benchmark measures GMRES iteration counts on the
+study matrices with each preconditioner under identical solver settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.krylov import solve
+from repro.matrices import laplacian_2d, unsteady_advection_diffusion
+from repro.mcmc import MCMCParameters, MCMCPreconditioner
+from repro.precond import (
+    ILU0Preconditioner,
+    JacobiPreconditioner,
+    NeumannPreconditioner,
+    SPAIPreconditioner,
+)
+
+
+def _iterations(matrix, preconditioner, maxiter=600):
+    rhs = np.ones(matrix.shape[0])
+    result = solve(matrix, rhs, solver="gmres", maxiter=maxiter,
+                   restart=matrix.shape[0], preconditioner=preconditioner)
+    return result.iterations if result.converged else maxiter
+
+
+def test_preconditioner_comparison(benchmark):
+    """Iteration counts of GMRES under MCMC and classical preconditioners."""
+    matrices = {
+        "2DFDLaplace_16": laplacian_2d(16),
+        "unsteady_adv_diff_order2_0001": unsteady_advection_diffusion(15, order=2),
+    }
+
+    def run_comparison():
+        table = {}
+        for name, matrix in matrices.items():
+            alpha = 0.5 if name.startswith("2DFD") else 4.0
+            mcmc = MCMCPreconditioner(
+                matrix, MCMCParameters(alpha=alpha, eps=0.125, delta=0.125), seed=0)
+            row = {
+                "none": _iterations(matrix, None),
+                "jacobi": _iterations(matrix, JacobiPreconditioner(matrix)),
+                "ilu0": _iterations(matrix, ILU0Preconditioner(matrix)),
+                "spai": _iterations(matrix, SPAIPreconditioner(matrix)),
+                "neumann(8)": _iterations(
+                    matrix, NeumannPreconditioner(matrix, terms=8, alpha=0.0)),
+                "mcmc": _iterations(matrix, mcmc),
+            }
+            table[name] = row
+        return table
+
+    table = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    methods = ["none", "jacobi", "ilu0", "spai", "neumann(8)", "mcmc"]
+    rows = [[name] + [table[name][m] for m in methods] for name in table]
+    print()
+    print(format_table(["matrix"] + methods, rows,
+                       title="Ablation: GMRES iterations by preconditioner"))
+
+    # On the ill-conditioned matrix the MCMC preconditioner must deliver a
+    # clear win over the unpreconditioned solve (the paper's use case).
+    hard = table["unsteady_adv_diff_order2_0001"]
+    assert hard["mcmc"] < hard["none"]
+    # On the well-conditioned Laplacian (kappa ~ 1e2, GMRES already converges
+    # in ~sqrt(kappa) steps) no sparse approximate inverse buys much; the MCMC
+    # preconditioner only has to stay competitive.
+    easy = table["2DFDLaplace_16"]
+    assert easy["mcmc"] <= int(1.3 * easy["none"]) + 1

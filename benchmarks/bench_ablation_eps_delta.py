@@ -1,0 +1,55 @@
+"""Ablation: the eps--delta asymmetry (Sec. 4.4 discussion).
+
+The paper observes that, contrary to the prior assumption of symmetric roles,
+a successful preconditioner requires ``eps ⪅ delta`` (more chains, shorter
+walks) and that pushing both far below the optimum brings no further
+improvement.  This benchmark sweeps the (eps, delta) grid at a fixed large
+``alpha`` on the unseen test matrix and prints the measured metric map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import MatrixEvaluator, SolverSettings
+from repro.experiments.reporting import format_table
+from repro.matrices import unsteady_advection_diffusion
+from repro.mcmc import MCMCParameters
+
+
+def test_eps_delta_asymmetry(benchmark, experiment_profile):
+    """Sweep y(A, x_M) over the (eps, delta) grid at alpha = 4."""
+    matrix = unsteady_advection_diffusion(15, order=2)
+    evaluator = MatrixEvaluator(matrix, "unsteady_adv_diff_order2_0001",
+                                settings=SolverSettings(maxiter=600), seed=0)
+    if experiment_profile.name == "paper":
+        epss = deltas = (0.5, 0.25, 0.125, 0.0625)
+        replications = 5
+    else:
+        epss = deltas = (0.5, 0.25, 0.125)
+        replications = 2
+
+    def sweep():
+        grid = {}
+        for eps in epss:
+            for delta in deltas:
+                record = evaluator.evaluate(
+                    MCMCParameters(alpha=4.0, eps=eps, delta=delta),
+                    n_replications=replications)
+                grid[(eps, delta)] = record.y_mean
+        return grid
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["eps \\ delta"] + [f"{d:g}" for d in deltas]
+    rows = [[f"{eps:g}"] + [grid[(eps, delta)] for delta in deltas] for eps in epss]
+    print()
+    print(format_table(headers, rows,
+                       title="Ablation: mean y(A, x_M) at alpha=4 over (eps, delta)"))
+
+    # eps <= delta half must on average be at least as good as eps > delta.
+    lower = [grid[(e, d)] for e in epss for d in deltas if e <= d]
+    upper = [grid[(e, d)] for e in epss for d in deltas if e > d]
+    assert np.mean(lower) <= np.mean(upper) + 0.05
+    # Every cell at alpha=4 must show a real preconditioning benefit.
+    assert max(grid.values()) < 1.0

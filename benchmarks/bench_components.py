@@ -1,0 +1,105 @@
+"""Performance micro-benchmarks of the individual pipeline components.
+
+These are classic pytest-benchmark timings (many rounds) of the operations the
+framework spends its time in: building an MCMC preconditioner, running the
+Krylov solvers with and without it, one surrogate training step, and one
+acquisition proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimize import AcquisitionOptimizer
+from repro.core.surrogate import GraphNeuralSurrogate, SurrogateConfig
+from repro.core.training import Trainer, TrainingConfig
+from repro.krylov import solve
+from repro.matrices import laplacian_2d, unsteady_advection_diffusion
+from repro.mcmc import MCMCParameters, MCMCPreconditioner, estimate_inverse
+
+
+@pytest.fixture(scope="module")
+def laplace():
+    return laplacian_2d(16)
+
+
+@pytest.fixture(scope="module")
+def adv_diff():
+    return unsteady_advection_diffusion(15, order=2)
+
+
+@pytest.fixture(scope="module")
+def good_parameters():
+    return MCMCParameters(alpha=4.0, eps=0.25, delta=0.25)
+
+
+def test_mcmc_preconditioner_build(benchmark, adv_diff, good_parameters):
+    """Cost of one MCMC matrix-inversion preconditioner build (225-dim matrix)."""
+    result = benchmark(lambda: estimate_inverse(adv_diff, good_parameters, seed=0))
+    assert result.nnz > 0
+
+
+def test_mcmc_build_many_chains(benchmark, laplace):
+    """Preconditioner build with the smallest paper eps (most chains per row)."""
+    params = MCMCParameters(alpha=1.0, eps=0.0625, delta=0.125)
+    result = benchmark(lambda: estimate_inverse(laplace, params, seed=0))
+    assert result.nnz > 0
+
+
+def test_gmres_unpreconditioned(benchmark, adv_diff):
+    """Unpreconditioned GMRES on the ill-conditioned test matrix."""
+    rhs = np.ones(adv_diff.shape[0])
+    result = benchmark(lambda: solve(adv_diff, rhs, solver="gmres", maxiter=600,
+                                     restart=adv_diff.shape[0]))
+    assert result.iterations > 0
+
+
+def test_gmres_with_mcmc_preconditioner(benchmark, adv_diff, good_parameters):
+    """Preconditioned GMRES (preconditioner built once, outside the timer)."""
+    preconditioner = MCMCPreconditioner(adv_diff, good_parameters, seed=0)
+    rhs = np.ones(adv_diff.shape[0])
+    result = benchmark(lambda: solve(adv_diff, rhs, solver="gmres", maxiter=600,
+                                     restart=adv_diff.shape[0],
+                                     preconditioner=preconditioner))
+    assert result.converged
+
+
+def test_surrogate_training_epoch(benchmark, tiny_training_setup):
+    """One Adam epoch of the surrogate on the benchmark dataset."""
+    dataset, model = tiny_training_setup
+    trainer = Trainer(TrainingConfig(epochs=1, batch_size=64, learning_rate=1e-3,
+                                     patience=10, min_epochs=1, seed=0))
+    train_idx, val_idx = dataset.split(0.2, seed=0)
+
+    def one_epoch():
+        return trainer.fit(model, dataset, train_indices=train_idx,
+                           validation_indices=val_idx)
+
+    history = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert history.epochs_run == 1
+
+
+def test_acquisition_proposal(benchmark, tiny_training_setup, adv_diff):
+    """One EI maximisation (L-BFGS-B with restarts) on the unseen test matrix."""
+    dataset, model = tiny_training_setup
+    optimizer = AcquisitionOptimizer(model, dataset, n_restarts=2, seed=0)
+
+    def propose():
+        return optimizer.propose(adv_diff, "unseen_test", n_candidates=4, xi=0.05)
+
+    candidates = benchmark.pedantic(propose, rounds=3, iterations=1)
+    assert len(candidates) == 4
+
+
+@pytest.fixture(scope="module")
+def tiny_training_setup(pipeline_result):
+    """Reuse the pipeline's dataset with a small fresh surrogate for timing."""
+    dataset = pipeline_result.dataset
+    config = SurrogateConfig(
+        node_dim=dataset.node_feature_dim, edge_dim=dataset.edge_feature_dim,
+        xa_dim=dataset.xa_dim, xm_dim=dataset.xm_dim,
+        graph_hidden=16, xa_hidden=8, xm_hidden=8, combined_hidden=16,
+        dropout=0.0, seed=0)
+    model = GraphNeuralSurrogate(config)
+    return dataset, model

@@ -1,0 +1,38 @@
+"""Benchmark / regeneration of Figure 1 (calibration curves, Wilson bands).
+
+Uses the shared pipeline run; the benchmarked quantity is the calibration
+analysis itself (the expensive solver/training work is shared across the
+figure benchmarks through the session-scoped pipeline fixture).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1_calibration(benchmark, pipeline_result):
+    """Regenerate the calibration curves of the Pre-BO and BO-enhanced models."""
+    figure = benchmark.pedantic(run_figure1, kwargs={"result": pipeline_result},
+                                rounds=1, iterations=1)
+    print()
+    print(format_figure1(figure))
+
+    pre = figure.overall["pre_bo"]
+    post = figure.overall["bo_enhanced"]
+    benchmark.extra_info["miscalibration_pre_bo"] = pre.mean_absolute_miscalibration()
+    benchmark.extra_info["miscalibration_bo_enhanced"] = \
+        post.mean_absolute_miscalibration()
+
+    # Structural checks: both curves are proper calibration curves over the
+    # full reference data with monotone coverage and valid Wilson bands.  The
+    # paper's directional finding (the BO-enhanced model is better calibrated)
+    # is recorded in extra_info / EXPERIMENTS.md; at smoke scale (3 replicates,
+    # tiny surrogate) the direction is noisy, so it is reported, not asserted.
+    assert figure.n_observations > 0
+    for curve in (pre, post):
+        assert float(np.min(curve.observed_coverage)) >= 0.0
+        assert float(np.max(curve.observed_coverage)) <= 1.0
+        assert np.all(np.diff(curve.observed_coverage) >= -1e-12)
+        assert np.all(curve.wilson_lower <= curve.wilson_upper)

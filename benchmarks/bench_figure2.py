@@ -1,0 +1,30 @@
+"""Benchmark / regeneration of Figure 2 (CI-inclusion heatmaps over (eps, delta)).
+
+Prints, for every ``alpha`` of the reference grid and for both models, the map
+of whether the predicted mean lies inside the empirical 99 % confidence
+interval, plus the eps/delta asymmetry statistic discussed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_figure2, run_figure2
+
+
+def test_figure2_ci_inclusion(benchmark, pipeline_result):
+    """Regenerate the confidence-interval inclusion analysis."""
+    figure = benchmark.pedantic(run_figure2, kwargs={"result": pipeline_result},
+                                rounds=1, iterations=1)
+    print()
+    print(format_figure2(figure))
+
+    benchmark.extra_info["inclusion_pre_bo"] = figure.inclusion_rate("pre_bo")
+    benchmark.extra_info["inclusion_bo_enhanced"] = figure.inclusion_rate("bo_enhanced")
+
+    # Shape of the paper's finding: retraining on the BO measurements must not
+    # reduce the overall inclusion rate of the predicted means.
+    assert (figure.inclusion_rate("bo_enhanced")
+            >= figure.inclusion_rate("pre_bo") - 0.05)
+    # The inclusion maps cover the full (eps, delta) grid for every alpha.
+    for alpha in figure.alphas:
+        assert figure.inclusion["pre_bo"][alpha].shape == (
+            len(figure.epss), len(figure.deltas))

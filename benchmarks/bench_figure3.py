@@ -1,0 +1,37 @@
+"""Benchmark / regeneration of Figure 3 and the headline claims.
+
+Prints the box-plot statistics of the per-candidate sample medians for grid
+search (full budget) and the two BO strategies (half budget), the best
+candidate of each strategy, and the derived headline numbers (step reduction,
+budget fraction, BO-vs-grid improvement).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_budget_comparison(benchmark, pipeline_result):
+    """Regenerate the search-strategy comparison on the unseen test matrix."""
+    figure = benchmark.pedantic(run_figure3, kwargs={"result": pipeline_result},
+                                rounds=1, iterations=1)
+    print()
+    print(format_figure3(figure))
+
+    grid = figure.strategies["grid"]
+    bo_labels = [label for label in figure.strategies if label.startswith("bo_")]
+    best_bo = min(figure.strategies[label].best_median for label in bo_labels)
+
+    benchmark.extra_info["grid_best_median"] = grid.best_median
+    benchmark.extra_info["bo_best_median"] = best_bo
+    benchmark.extra_info["budget_fraction"] = figure.budget_fraction()
+    benchmark.extra_info["bo_vs_grid_improvement"] = figure.bo_vs_grid_improvement()
+
+    # Shape of the paper's claims:
+    # (1) MCMC preconditioning reduces the step count on the unseen matrix,
+    assert grid.best_median < 1.0
+    # (2) the BO strategies use at most half the grid budget,
+    assert figure.budget_fraction() <= 0.5 + 1e-9
+    # (3) and their best recommendation is competitive with (not much worse
+    #     than) exhaustive grid search despite the smaller budget.
+    assert best_bo <= grid.best_median * 1.25

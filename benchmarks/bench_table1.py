@@ -1,0 +1,38 @@
+"""Benchmark / regeneration of Table 1 (the matrix study set).
+
+Prints the paper-reference and measured dimension, symmetry, condition number
+and fill factor for every matrix analogue.  The smoke profile skips the two
+very large matrices (``a08192``, ``nonsym_r3_a11``); set ``REPRO_PROFILE=paper``
+to include them (their condition numbers are then estimated via sparse LU).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table1, generate_table1, save_json, to_jsonable
+
+
+def test_table1_generation(benchmark, experiment_profile, tmp_path):
+    """Regenerate Table 1 and print the paper-vs-measured comparison."""
+    if experiment_profile.name == "paper":
+        kwargs = dict(max_exact_dimension=4096, max_dimension=None)
+    else:
+        kwargs = dict(max_exact_dimension=1024, max_dimension=1024)
+
+    rows = benchmark.pedantic(generate_table1, kwargs=kwargs, rounds=1, iterations=1)
+
+    print()
+    print(format_table1(rows))
+    save_json([to_jsonable(row) for row in rows], tmp_path / "table1.json")
+
+    # Sanity: the measured analogues must preserve the paper's qualitative facts.
+    by_name = {row.name: row for row in rows}
+    assert by_name["2DFDLaplace_16"].symmetric_measured
+    assert not by_name["unsteady_adv_diff_order2_0001"].symmetric_measured
+    assert (by_name["unsteady_adv_diff_order2_0001"].kappa_measured
+            > by_name["unsteady_adv_diff_order1_0001"].kappa_measured)
+    # O(h^-2) growth of the Laplacian condition number across resolutions
+    # (the _32 entry is present in both profiles; _64/_128 only in "paper").
+    assert (by_name["2DFDLaplace_32"].kappa_measured
+            > by_name["2DFDLaplace_16"].kappa_measured)

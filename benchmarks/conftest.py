@@ -1,0 +1,24 @@
+"""Shared fixtures of the benchmark harness.
+
+The figure benchmarks all consume the output of the end-to-end experiment
+pipeline; it is executed once per session (at the scale selected through the
+``REPRO_PROFILE`` environment variable, ``smoke`` by default) and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentProfile, run_pipeline_cached
+
+
+@pytest.fixture(scope="session")
+def experiment_profile() -> ExperimentProfile:
+    """Scale profile selected via ``REPRO_PROFILE`` (smoke by default)."""
+    return ExperimentProfile.from_environment()
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(experiment_profile):
+    """The shared end-to-end pipeline run (grid dataset -> Pre-BO -> BO round)."""
+    return run_pipeline_cached(experiment_profile)

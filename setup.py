@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in offline
+environments where the ``wheel`` package (required for PEP 660 editable
+installs) is unavailable and pip falls back to the legacy ``setup.py develop``
+code path.
+"""
+
+from setuptools import setup
+
+setup()

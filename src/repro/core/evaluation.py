@@ -1,0 +1,246 @@
+"""Measurement of the MCMC preconditioning performance metric ``y(A, x_M)``.
+
+Equation (4) of the paper defines the metric as the ratio of Krylov iteration
+counts with and without the MCMC preconditioner.  A single measurement is one
+preconditioner build (with its own random seed) followed by one solve; an
+observation is the sample mean and standard deviation over ``n_replications``
+measurements, exactly how the paper labels its training data (10 replications
+per configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import default_rng
+from repro.exceptions import ParameterError
+from repro.krylov import solve
+from repro.logging_utils import get_logger
+from repro.mcmc.parameters import MCMCParameters
+from repro.mcmc.preconditioner import MCMCPreconditioner
+from repro.parallel.executor import Executor
+from repro.sparse.csr import validate_square
+
+__all__ = [
+    "SolverSettings",
+    "PerformanceRecord",
+    "LabelledObservation",
+    "MatrixEvaluator",
+    "collect_grid_observations",
+]
+
+_LOG = get_logger("core.evaluation")
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """Settings shared by the preconditioned and unpreconditioned solves.
+
+    Using the *same* settings for both sides of the ratio is what makes the
+    metric well defined; the defaults mirror the experiment scale of the paper
+    (small systems, tight tolerance, full-memory GMRES).
+    """
+
+    rtol: float = 1e-8
+    maxiter: int = 1000
+    gmres_restart: int | None = None  # ``None`` -> full GMRES (restart = n)
+
+    def solver_kwargs(self, solver: str, dimension: int) -> dict:
+        """Keyword arguments for :func:`repro.krylov.solve`."""
+        kwargs: dict = {"rtol": self.rtol, "maxiter": self.maxiter}
+        if solver == "gmres":
+            restart = self.gmres_restart
+            if restart is None:
+                restart = min(dimension, self.maxiter)
+            kwargs["restart"] = restart
+        return kwargs
+
+
+@dataclass
+class PerformanceRecord:
+    """Replicated measurements of ``y(A, x_M)`` for one parameter vector."""
+
+    parameters: MCMCParameters
+    matrix_name: str
+    baseline_iterations: int
+    preconditioned_iterations: list[int]
+    y_values: list[float]
+
+    @property
+    def y_mean(self) -> float:
+        """Sample mean of the metric over the replications."""
+        return float(np.mean(self.y_values))
+
+    @property
+    def y_std(self) -> float:
+        """Sample standard deviation (ddof=1 when possible)."""
+        if len(self.y_values) < 2:
+            return 0.0
+        return float(np.std(self.y_values, ddof=1))
+
+    @property
+    def y_median(self) -> float:
+        """Sample median (the statistic summarised in Figure 3)."""
+        return float(np.median(self.y_values))
+
+    def to_observation(self) -> "LabelledObservation":
+        """Convert to the labelled form consumed by the surrogate dataset."""
+        return LabelledObservation(
+            matrix_name=self.matrix_name,
+            parameters=self.parameters,
+            y_mean=self.y_mean,
+            y_std=self.y_std,
+            y_values=list(self.y_values),
+        )
+
+
+@dataclass(frozen=True)
+class LabelledObservation:
+    """One labelled datum ``(A, x_M) -> (y_mean, y_std)`` of the dataset."""
+
+    matrix_name: str
+    parameters: MCMCParameters
+    y_mean: float
+    y_std: float
+    y_values: tuple[float, ...] | list[float] = field(default_factory=list)
+
+
+class MatrixEvaluator:
+    """Measures ``y(A, x_M)`` for one matrix, caching the baselines.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix ``A``.
+    name:
+        Identifier recorded on the observations.
+    settings:
+        Shared solver settings.
+    rhs:
+        Right-hand side; the paper's benchmarks use a fixed ``b`` per matrix,
+        here the all-ones vector by default.
+    seed:
+        Base seed; replication ``r`` of parameter vector ``i`` uses an
+        independent stream derived from ``(seed, i, r)``.
+    executor:
+        Optional executor forwarded to the MCMC preconditioner builds.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, name: str, *,
+                 settings: SolverSettings | None = None,
+                 rhs: np.ndarray | None = None,
+                 seed: int = 0,
+                 executor: Executor | None = None) -> None:
+        self.matrix = validate_square(matrix)
+        self.name = name
+        self.settings = settings if settings is not None else SolverSettings()
+        self.rhs = (np.ones(self.matrix.shape[0])
+                    if rhs is None else np.asarray(rhs, dtype=np.float64))
+        if self.rhs.size != self.matrix.shape[0]:
+            raise ParameterError(
+                f"rhs length {self.rhs.size} incompatible with matrix "
+                f"dimension {self.matrix.shape[0]}")
+        self.seed = int(seed)
+        self.executor = executor
+        self._baseline_cache: dict[str, int] = {}
+
+    # -- baselines -------------------------------------------------------------
+    def baseline_iterations(self, solver: str) -> int:
+        """Iteration count without preconditioning (cached per solver)."""
+        if solver not in self._baseline_cache:
+            kwargs = self.settings.solver_kwargs(solver, self.matrix.shape[0])
+            result = solve(self.matrix, self.rhs, solver=solver, **kwargs)
+            iterations = result.iterations if result.converged else self.settings.maxiter
+            iterations = max(int(iterations), 1)
+            self._baseline_cache[solver] = iterations
+            _LOG.debug("baseline %s on %s: %d iterations (converged=%s)",
+                       solver, self.name, iterations, result.converged)
+        return self._baseline_cache[solver]
+
+    # -- measurements -----------------------------------------------------------
+    def measure_once(self, parameters: MCMCParameters, *, seed: int) -> tuple[int, float]:
+        """One preconditioner build + solve; returns (iterations, y)."""
+        preconditioner = MCMCPreconditioner(self.matrix, parameters, seed=seed,
+                                            executor=self.executor)
+        kwargs = self.settings.solver_kwargs(parameters.solver, self.matrix.shape[0])
+        result = solve(self.matrix, self.rhs, solver=parameters.solver,
+                       preconditioner=preconditioner, **kwargs)
+        iterations = result.iterations if result.converged else self.settings.maxiter
+        iterations = max(int(iterations), 1)
+        baseline = self.baseline_iterations(parameters.solver)
+        return iterations, iterations / baseline
+
+    def evaluate(self, parameters: MCMCParameters, *, n_replications: int = 3,
+                 candidate_index: int = 0) -> PerformanceRecord:
+        """Replicated measurement of one parameter vector."""
+        if n_replications < 1:
+            raise ParameterError(
+                f"n_replications must be >= 1, got {n_replications}")
+        iterations: list[int] = []
+        y_values: list[float] = []
+        for replication in range(n_replications):
+            # Deterministic but independent seed per (evaluator, candidate, rep).
+            seed = (self.seed * 1_000_003 + candidate_index * 1_009
+                    + replication * 7 + 13) % (2 ** 31 - 1)
+            its, y = self.measure_once(parameters, seed=seed)
+            iterations.append(its)
+            y_values.append(y)
+        return PerformanceRecord(
+            parameters=parameters,
+            matrix_name=self.name,
+            baseline_iterations=self.baseline_iterations(parameters.solver),
+            preconditioned_iterations=iterations,
+            y_values=y_values,
+        )
+
+    def evaluate_many(self, parameter_list: list[MCMCParameters], *,
+                      n_replications: int = 3) -> list[PerformanceRecord]:
+        """Evaluate a list of candidates (e.g. a grid or a BO batch)."""
+        records = []
+        for index, parameters in enumerate(parameter_list):
+            records.append(self.evaluate(parameters, n_replications=n_replications,
+                                         candidate_index=index))
+        return records
+
+
+def collect_grid_observations(matrices: dict[str, sp.spmatrix],
+                              parameter_grid: list[MCMCParameters], *,
+                              n_replications: int = 3,
+                              settings: SolverSettings | None = None,
+                              seed: int = 0,
+                              executor: Executor | None = None,
+                              skip_cg_for_nonsymmetric: bool = True,
+                              ) -> list[LabelledObservation]:
+    """Build the paper's grid-search training data over several matrices.
+
+    Parameters
+    ----------
+    matrices:
+        Mapping from matrix name to matrix.
+    parameter_grid:
+        Parameter vectors to evaluate on every matrix (the paper's 4x4x4 grid
+        per solver).
+    n_replications:
+        Replications per configuration (the paper uses 10).
+    skip_cg_for_nonsymmetric:
+        CG is only run on symmetric positive-definite matrices in the paper;
+        when true, CG configurations are silently skipped for matrices whose
+        symmetry score is below 1.
+    """
+    from repro.sparse.csr import is_symmetric
+
+    observations: list[LabelledObservation] = []
+    for matrix_index, (name, matrix) in enumerate(matrices.items()):
+        evaluator = MatrixEvaluator(matrix, name, settings=settings,
+                                    seed=seed + 17 * matrix_index,
+                                    executor=executor)
+        grid = parameter_grid
+        if skip_cg_for_nonsymmetric and not is_symmetric(matrix):
+            grid = [p for p in parameter_grid if p.solver != "cg"]
+        records = evaluator.evaluate_many(grid, n_replications=n_replications)
+        observations.extend(record.to_observation() for record in records)
+        _LOG.info("collected %d observations on %s", len(records), name)
+    return observations

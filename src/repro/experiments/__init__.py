@@ -1,0 +1,53 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every artefact of the evaluation section has a dedicated driver:
+
+* :mod:`repro.experiments.table1`  -- the matrix study set (Table 1);
+* :mod:`repro.experiments.figure1` -- calibration curves with Wilson bands;
+* :mod:`repro.experiments.figure2` -- CI-inclusion heatmaps over (eps, delta);
+* :mod:`repro.experiments.figure3` -- budget comparison box-plot statistics and
+  the headline claims (50 % budget, ~10 % fewer steps, <=25 % reduction);
+* :mod:`repro.experiments.pipeline` -- the shared end-to-end pipeline (grid
+  dataset -> Pre-BO surrogate -> BO round -> BO-enhanced surrogate -> test
+  grid reference data) with ``smoke`` and ``paper`` scale profiles;
+* :mod:`repro.experiments.reporting` -- plain-text tables and JSON dumps.
+
+The drivers print the same rows/series the paper plots; they do not render
+images.
+"""
+
+from repro.experiments.pipeline import (
+    ExperimentProfile,
+    PipelineResult,
+    run_pipeline,
+    run_pipeline_cached,
+    clear_pipeline_cache,
+)
+from repro.experiments.table1 import Table1Row, generate_table1, format_table1
+from repro.experiments.figure1 import Figure1Result, run_figure1, format_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2, format_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3, format_figure3
+from repro.experiments.reporting import format_table, to_jsonable, save_json
+
+__all__ = [
+    "ExperimentProfile",
+    "PipelineResult",
+    "run_pipeline",
+    "run_pipeline_cached",
+    "clear_pipeline_cache",
+    "Table1Row",
+    "generate_table1",
+    "format_table1",
+    "Figure1Result",
+    "run_figure1",
+    "format_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "format_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "format_figure3",
+    "format_table",
+    "to_jsonable",
+    "save_json",
+]

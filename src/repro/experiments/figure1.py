@@ -1,0 +1,117 @@
+"""Figure 1: calibration of the surrogate's uncertainty estimates.
+
+The figure compares, for the Pre-BO and BO-enhanced models, the expected
+coverage of the symmetric Gaussian prediction intervals (Eq. 5) against the
+observed coverage over all individual observations of the reference grid on
+the unseen test matrix, with 95 % Wilson score bands (Eq. 6).  The paper's
+finding: the Pre-BO model is over-confident (curve below the diagonal) and a
+single BO round moves the curve markedly closer to the diagonal, most visibly
+for the large-``alpha`` region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.pipeline import ExperimentProfile, PipelineResult, run_pipeline_cached
+from repro.experiments.reporting import format_table
+from repro.logging_utils import get_logger
+from repro.stats.calibration import CalibrationCurve, calibration_curve
+
+__all__ = ["Figure1Result", "run_figure1", "format_figure1"]
+
+_LOG = get_logger("experiments.figure1")
+
+
+@dataclass
+class Figure1Result:
+    """Calibration curves for both models, overall and per ``alpha``."""
+
+    overall: dict[str, CalibrationCurve]
+    per_alpha: dict[float, dict[str, CalibrationCurve]]
+    n_observations: int
+
+    def improvement(self) -> float:
+        """Reduction of mean absolute miscalibration from Pre-BO to BO-enhanced."""
+        pre = self.overall["pre_bo"].mean_absolute_miscalibration()
+        post = self.overall["bo_enhanced"].mean_absolute_miscalibration()
+        return pre - post
+
+
+def _expand_per_observation(result: PipelineResult, predictions
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten (record, replicate) pairs with per-record predictions repeated."""
+    mu_per_record, sigma_per_record = predictions
+    observations: list[float] = []
+    mu: list[float] = []
+    sigma: list[float] = []
+    alphas: list[float] = []
+    for record, record_mu, record_sigma in zip(result.reference_records,
+                                               mu_per_record, sigma_per_record):
+        for value in record.y_values:
+            observations.append(float(value))
+            mu.append(float(record_mu))
+            sigma.append(float(record_sigma))
+            alphas.append(float(record.parameters.alpha))
+    return (np.array(observations), np.array(mu), np.array(sigma), np.array(alphas))
+
+
+def run_figure1(profile: ExperimentProfile | None = None, *,
+                result: PipelineResult | None = None) -> Figure1Result:
+    """Compute the Figure 1 calibration curves."""
+    pipeline = result if result is not None else run_pipeline_cached(profile)
+    curves: dict[str, CalibrationCurve] = {}
+    per_alpha: dict[float, dict[str, CalibrationCurve]] = {}
+
+    data = {
+        "pre_bo": _expand_per_observation(pipeline, pipeline.pre_bo_predictions),
+        "bo_enhanced": _expand_per_observation(pipeline, pipeline.bo_enhanced_predictions),
+    }
+    n_observations = data["pre_bo"][0].size
+    for label, (observations, mu, sigma, alphas) in data.items():
+        curves[label] = calibration_curve(observations, mu, sigma, label=label)
+        for alpha in np.unique(alphas):
+            mask = alphas == alpha
+            per_alpha.setdefault(float(alpha), {})[label] = calibration_curve(
+                observations[mask], mu[mask], sigma[mask],
+                label=f"{label}@alpha={alpha:g}")
+    _LOG.info("figure 1: miscalibration pre=%.3f post=%.3f",
+              curves["pre_bo"].mean_absolute_miscalibration(),
+              curves["bo_enhanced"].mean_absolute_miscalibration())
+    return Figure1Result(overall=curves, per_alpha=per_alpha,
+                         n_observations=n_observations)
+
+
+def format_figure1(figure: Figure1Result) -> str:
+    """Render the calibration curves as text tables."""
+    blocks: list[str] = []
+    headers = ["expected tau", "observed (Pre-BO)", "Wilson lo", "Wilson hi",
+               "observed (BO-enhanced)", "Wilson lo", "Wilson hi"]
+    pre = figure.overall["pre_bo"]
+    post = figure.overall["bo_enhanced"]
+    rows = []
+    for index, tau in enumerate(pre.confidence_levels):
+        rows.append([
+            tau,
+            pre.observed_coverage[index], pre.wilson_lower[index], pre.wilson_upper[index],
+            post.observed_coverage[index], post.wilson_lower[index], post.wilson_upper[index],
+        ])
+    blocks.append(format_table(
+        headers, rows,
+        title=(f"Figure 1: calibration over {figure.n_observations} observations "
+               f"(Pre-BO vs BO-enhanced)")))
+    blocks.append(
+        f"mean |observed - expected| coverage: Pre-BO "
+        f"{pre.mean_absolute_miscalibration():.3f} "
+        f"-> BO-enhanced {post.mean_absolute_miscalibration():.3f} "
+        f"(improvement {figure.improvement():+.3f}; "
+        f"Pre-BO overconfident: {pre.is_overconfident()})")
+    for alpha in sorted(figure.per_alpha):
+        pair = figure.per_alpha[alpha]
+        blocks.append(
+            f"  alpha={alpha:g}: miscalibration Pre-BO "
+            f"{pair['pre_bo'].mean_absolute_miscalibration():.3f} -> BO-enhanced "
+            f"{pair['bo_enhanced'].mean_absolute_miscalibration():.3f}")
+    return "\n".join(blocks)

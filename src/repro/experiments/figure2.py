@@ -1,0 +1,146 @@
+"""Figure 2: pointwise confidence-interval inclusion over the (eps, delta) grid.
+
+For each parameter vector of the reference grid the empirical 99 % confidence
+interval of the metric over the replications is computed; the figure reports,
+per ``alpha`` and per model, the map of whether the model's predicted mean
+falls inside that interval.  The paper finds substantially higher inclusion
+for the BO-enhanced model at ``alpha in {4, 5}``, and discusses the
+``eps ⪅ delta`` asymmetry of successful preconditioners visible in the same
+grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.pipeline import ExperimentProfile, PipelineResult, run_pipeline_cached
+from repro.experiments.reporting import format_table
+from repro.logging_utils import get_logger
+from repro.stats.intervals import mean_inclusion
+
+__all__ = ["Figure2Result", "run_figure2", "format_figure2"]
+
+_LOG = get_logger("experiments.figure2")
+
+
+@dataclass
+class Figure2Result:
+    """Inclusion heatmaps and measured-metric maps over the (eps, delta) grid."""
+
+    alphas: list[float]
+    epss: list[float]
+    deltas: list[float]
+    #: ``inclusion[model][alpha]`` is a boolean array of shape (len(epss), len(deltas)).
+    inclusion: dict[str, dict[float, np.ndarray]]
+    #: ``metric_mean[alpha]`` holds the measured mean metric on the same grid.
+    metric_mean: dict[float, np.ndarray]
+    confidence: float
+
+    def inclusion_rate(self, model: str, alpha: float | None = None) -> float:
+        """Fraction of grid cells whose CI contains the predicted mean."""
+        maps = self.inclusion[model]
+        if alpha is not None:
+            values = maps[alpha]
+            return float(np.mean(values))
+        stacked = np.concatenate([grid.ravel() for grid in maps.values()])
+        return float(np.mean(stacked))
+
+    def eps_delta_asymmetry(self, alpha: float) -> float:
+        """Mean metric difference between the ``eps > delta`` and ``eps < delta`` halves.
+
+        A positive value means parameter choices with ``eps <= delta`` give a
+        lower (better) metric -- the asymmetry reported in the paper.
+        """
+        grid = self.metric_mean[alpha]
+        upper: list[float] = []   # eps > delta
+        lower: list[float] = []   # eps < delta
+        for i, eps in enumerate(self.epss):
+            for j, delta in enumerate(self.deltas):
+                if eps > delta:
+                    upper.append(float(grid[i, j]))
+                elif eps < delta:
+                    lower.append(float(grid[i, j]))
+        if not upper or not lower:
+            return 0.0
+        return float(np.mean(upper) - np.mean(lower))
+
+
+def run_figure2(profile: ExperimentProfile | None = None, *,
+                result: PipelineResult | None = None,
+                confidence: float = 0.99) -> Figure2Result:
+    """Compute the Figure 2 inclusion maps."""
+    pipeline = result if result is not None else run_pipeline_cached(profile)
+    records = pipeline.reference_records
+    alphas = sorted({record.parameters.alpha for record in records})
+    epss = sorted({record.parameters.eps for record in records}, reverse=True)
+    deltas = sorted({record.parameters.delta for record in records}, reverse=True)
+
+    predictions = {
+        "pre_bo": pipeline.pre_bo_predictions,
+        "bo_enhanced": pipeline.bo_enhanced_predictions,
+    }
+    index_of = {(record.parameters.alpha, record.parameters.eps,
+                 record.parameters.delta): position
+                for position, record in enumerate(records)}
+
+    inclusion: dict[str, dict[float, np.ndarray]] = {name: {} for name in predictions}
+    metric_mean: dict[float, np.ndarray] = {}
+    for alpha in alphas:
+        metric_grid = np.full((len(epss), len(deltas)), np.nan)
+        grids = {name: np.zeros((len(epss), len(deltas)), dtype=bool)
+                 for name in predictions}
+        for i, eps in enumerate(epss):
+            for j, delta in enumerate(deltas):
+                position = index_of.get((alpha, eps, delta))
+                if position is None:
+                    continue
+                record = records[position]
+                metric_grid[i, j] = record.y_mean
+                for name, (mu, _sigma) in predictions.items():
+                    grids[name][i, j] = mean_inclusion(
+                        float(mu[position]), np.asarray(record.y_values),
+                        confidence=confidence)
+        metric_mean[float(alpha)] = metric_grid
+        for name in predictions:
+            inclusion[name][float(alpha)] = grids[name]
+
+    result_object = Figure2Result(
+        alphas=[float(a) for a in alphas],
+        epss=[float(e) for e in epss],
+        deltas=[float(d) for d in deltas],
+        inclusion=inclusion,
+        metric_mean=metric_mean,
+        confidence=confidence,
+    )
+    _LOG.info("figure 2: inclusion pre=%.2f post=%.2f",
+              result_object.inclusion_rate("pre_bo"),
+              result_object.inclusion_rate("bo_enhanced"))
+    return result_object
+
+
+def format_figure2(figure: Figure2Result) -> str:
+    """Render the inclusion heatmaps and summary rates as text."""
+    blocks: list[str] = []
+    blocks.append(
+        f"Figure 2: predicted-mean inclusion in the empirical "
+        f"{figure.confidence:.0%} CI, per alpha")
+    for alpha in figure.alphas:
+        for model in ("pre_bo", "bo_enhanced"):
+            grid = figure.inclusion[model][alpha]
+            headers = ["eps \\ delta"] + [f"{d:g}" for d in figure.deltas]
+            rows = [[f"{eps:g}"] + ["in" if grid[i, j] else "out"
+                                    for j in range(len(figure.deltas))]
+                    for i, eps in enumerate(figure.epss)]
+            blocks.append(format_table(
+                headers, rows,
+                title=f"alpha={alpha:g} [{model}] "
+                      f"(inclusion rate {figure.inclusion_rate(model, alpha):.2f})"))
+        blocks.append(
+            f"  alpha={alpha:g}: eps<=delta advantage (mean metric difference) "
+            f"{figure.eps_delta_asymmetry(alpha):+.3f}")
+    blocks.append(
+        f"overall inclusion: Pre-BO {figure.inclusion_rate('pre_bo'):.2f} "
+        f"-> BO-enhanced {figure.inclusion_rate('bo_enhanced'):.2f}")
+    return "\n".join(blocks)

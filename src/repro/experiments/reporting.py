@@ -1,0 +1,76 @@
+"""Plain-text tables and JSON persistence for experiment outputs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_value", "to_jsonable", "save_json"]
+
+
+def format_value(value: Any, *, precision: int = 4) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float) or isinstance(value, np.floating):
+        value = float(value)
+        if value != 0.0 and (abs(value) >= 1e4 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], *,
+                 title: str | None = None, precision: int = 4) -> str:
+    """Render a fixed-width text table (the benchmark harness prints these)."""
+    rendered_rows = [[format_value(cell, precision=precision) for cell in row]
+                     for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(header).ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert NumPy types / dataclasses to JSON-serialisable values."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_json(payload: Any, path: str | os.PathLike) -> str:
+    """Write ``payload`` as pretty-printed JSON, creating parent directories."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,62 @@
+"""Neighbourhood aggregation strategies.
+
+The paper's hyperparameter search combines the message-passing layer types
+with three aggregation strategies: mean aggregation (the one finally
+selected), "MultiAggregation" (concatenation of several reductions) and an
+adaptive DeepSets-style readout.  We implement ``sum``, ``mean``, ``max`` and
+``multi`` (concatenation of the first three); the adaptive readout is covered
+by the learned pooling in the surrogate head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphConstructionError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["aggregate_neighbours", "KNOWN_AGGREGATIONS", "aggregation_output_dim"]
+
+#: Aggregation strategies understood by :func:`aggregate_neighbours`.
+KNOWN_AGGREGATIONS: tuple[str, ...] = ("sum", "mean", "max", "multi")
+
+
+def aggregation_output_dim(aggregation: str, message_dim: int) -> int:
+    """Output feature dimension after aggregating ``message_dim`` messages."""
+    if aggregation not in KNOWN_AGGREGATIONS:
+        raise GraphConstructionError(
+            f"unknown aggregation {aggregation!r}; expected one of {KNOWN_AGGREGATIONS}")
+    return 3 * message_dim if aggregation == "multi" else message_dim
+
+
+def aggregate_neighbours(messages: Tensor, target_index: np.ndarray,
+                         num_nodes: int, aggregation: str = "mean") -> Tensor:
+    """Reduce per-edge messages into per-target-vertex features.
+
+    Parameters
+    ----------
+    messages:
+        Tensor of shape ``(E, message_dim)``.
+    target_index:
+        For each edge, the vertex receiving the message (shape ``(E,)``).
+    num_nodes:
+        Number of vertices in the (batched) graph.
+    aggregation:
+        ``"sum"``, ``"mean"``, ``"max"`` or ``"multi"`` (concatenation of the
+        three in that order).
+    """
+    if aggregation not in KNOWN_AGGREGATIONS:
+        raise GraphConstructionError(
+            f"unknown aggregation {aggregation!r}; expected one of {KNOWN_AGGREGATIONS}")
+    if aggregation == "sum":
+        return F.segment_sum(messages, target_index, num_nodes)
+    if aggregation == "mean":
+        return F.segment_mean(messages, target_index, num_nodes)
+    if aggregation == "max":
+        return F.segment_max(messages, target_index, num_nodes)
+    return F.concat([
+        F.segment_sum(messages, target_index, num_nodes),
+        F.segment_mean(messages, target_index, num_nodes),
+        F.segment_max(messages, target_index, num_nodes),
+    ], axis=-1)

@@ -1,0 +1,28 @@
+"""Global pooling: one embedding per graph from per-vertex embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool"]
+
+
+def global_mean_pool(node_embeddings: Tensor, node_to_graph: np.ndarray,
+                     num_graphs: int) -> Tensor:
+    """Average the vertex embeddings of each graph."""
+    return F.segment_mean(node_embeddings, node_to_graph, num_graphs)
+
+
+def global_sum_pool(node_embeddings: Tensor, node_to_graph: np.ndarray,
+                    num_graphs: int) -> Tensor:
+    """Sum the vertex embeddings of each graph."""
+    return F.segment_sum(node_embeddings, node_to_graph, num_graphs)
+
+
+def global_max_pool(node_embeddings: Tensor, node_to_graph: np.ndarray,
+                    num_graphs: int) -> Tensor:
+    """Feature-wise maximum of the vertex embeddings of each graph."""
+    return F.segment_max(node_embeddings, node_to_graph, num_graphs)

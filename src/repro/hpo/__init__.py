@@ -1,0 +1,37 @@
+"""Hyperparameter-optimisation substrate (Sec. 4.3 of the paper).
+
+The paper tunes the surrogate architecture with the Tree-structured Parzen
+Estimator and schedules trials with the Asynchronous Successive Halving
+Algorithm (ASHA).  This package implements both from scratch, together with
+the search-space primitives and a random-search baseline, and provides a
+driver that applies them to the surrogate model of :mod:`repro.core`.
+"""
+
+from repro.hpo.space import (
+    Uniform,
+    LogUniform,
+    IntUniform,
+    Choice,
+    SearchSpace,
+)
+from repro.hpo.random_search import random_search
+from repro.hpo.tpe import TPESampler, tpe_search
+from repro.hpo.asha import ASHAScheduler, Trial, TrialStatus
+from repro.hpo.tuner import SurrogateHPO, surrogate_search_space, HPOResult
+
+__all__ = [
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "Choice",
+    "SearchSpace",
+    "random_search",
+    "TPESampler",
+    "tpe_search",
+    "ASHAScheduler",
+    "Trial",
+    "TrialStatus",
+    "SurrogateHPO",
+    "surrogate_search_space",
+    "HPOResult",
+]

@@ -1,0 +1,155 @@
+"""Asynchronous Successive Halving (ASHA) scheduler (Li et al. 2020).
+
+The paper combines TPE sampling with an ASHA scheduler: trials report
+intermediate results (validation loss per epoch); a trial may only advance
+past a "rung" (a resource milestone) if its result is within the top
+``1 / reduction_factor`` fraction of everything that has reached that rung, so
+unpromising configurations are stopped early.  The implementation below is the
+standard promotion rule driven synchronously by the caller, which is
+sufficient for single-process experiments while preserving the algorithm's
+decision logic (grace period, rung spacing, top-k promotion).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+
+__all__ = ["TrialStatus", "Trial", "ASHAScheduler"]
+
+
+class TrialStatus(enum.Enum):
+    """Lifecycle states of a trial."""
+
+    RUNNING = "running"
+    STOPPED = "stopped"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Trial:
+    """One hyperparameter configuration being evaluated."""
+
+    trial_id: int
+    config: dict
+    status: TrialStatus = TrialStatus.RUNNING
+    results: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def last_resource(self) -> int:
+        """Largest resource (epoch) this trial has reported at."""
+        return max(self.results) if self.results else 0
+
+    @property
+    def best_result(self) -> float:
+        """Best (minimum) reported objective value."""
+        return min(self.results.values()) if self.results else float("inf")
+
+
+class ASHAScheduler:
+    """Successive-halving early stopping.
+
+    Parameters
+    ----------
+    max_resource:
+        Maximum resource (e.g. epochs) a trial may consume (the paper uses 150).
+    grace_period:
+        Minimum resource before a trial may be stopped (the paper uses 20).
+    reduction_factor:
+        Rung spacing and promotion fraction (the paper uses 3).
+    """
+
+    def __init__(self, *, max_resource: int = 150, grace_period: int = 20,
+                 reduction_factor: int = 3) -> None:
+        if max_resource < 1 or grace_period < 1:
+            raise SearchSpaceError("max_resource and grace_period must be >= 1")
+        if grace_period > max_resource:
+            raise SearchSpaceError("grace_period must not exceed max_resource")
+        if reduction_factor < 2:
+            raise SearchSpaceError("reduction_factor must be >= 2")
+        self.max_resource = int(max_resource)
+        self.grace_period = int(grace_period)
+        self.reduction_factor = int(reduction_factor)
+        self.rungs: list[int] = self._compute_rungs()
+        self._trials: dict[int, Trial] = {}
+        self._next_id = 0
+
+    def _compute_rungs(self) -> list[int]:
+        rungs = []
+        resource = self.grace_period
+        while resource < self.max_resource:
+            rungs.append(int(resource))
+            resource *= self.reduction_factor
+        rungs.append(self.max_resource)
+        return rungs
+
+    # -- trial management -------------------------------------------------------
+    def add_trial(self, config: dict) -> Trial:
+        """Register a new trial."""
+        trial = Trial(trial_id=self._next_id, config=dict(config))
+        self._trials[trial.trial_id] = trial
+        self._next_id += 1
+        return trial
+
+    def trials(self) -> list[Trial]:
+        """All registered trials."""
+        return list(self._trials.values())
+
+    def rung_for(self, resource: int) -> int | None:
+        """The highest rung at or below ``resource`` (``None`` below the grace period)."""
+        eligible = [rung for rung in self.rungs if rung <= resource]
+        return eligible[-1] if eligible else None
+
+    # -- the promotion rule ---------------------------------------------------------
+    def report(self, trial_id: int, resource: int, value: float) -> TrialStatus:
+        """Report an intermediate result; returns the trial's new status.
+
+        A trial is stopped at a rung when its result is *not* within the best
+        ``1 / reduction_factor`` fraction of all results reported at that rung
+        so far (the asynchronous promotion rule).
+        """
+        try:
+            trial = self._trials[trial_id]
+        except KeyError as exc:
+            raise SearchSpaceError(f"unknown trial id {trial_id}") from exc
+        if trial.status is not TrialStatus.RUNNING:
+            return trial.status
+        trial.results[int(resource)] = float(value)
+
+        if resource >= self.max_resource:
+            trial.status = TrialStatus.COMPLETED
+            return trial.status
+
+        rung = self.rung_for(resource)
+        if rung is None:
+            return trial.status
+
+        # Results of every trial that has reached this rung (best value at or
+        # after the rung resource).
+        rung_results: list[float] = []
+        for other in self._trials.values():
+            at_rung = [v for r, v in other.results.items() if r >= rung]
+            if at_rung:
+                rung_results.append(min(at_rung))
+        if len(rung_results) < self.reduction_factor:
+            return trial.status  # not enough information to cut anybody yet
+
+        own = min(v for r, v in trial.results.items() if r >= rung)
+        threshold_index = max(int(math.floor(len(rung_results) / self.reduction_factor)) - 1, 0)
+        threshold = float(np.sort(rung_results)[threshold_index])
+        if own > threshold:
+            trial.status = TrialStatus.STOPPED
+        return trial.status
+
+    # -- summary ----------------------------------------------------------------------
+    def best_trial(self) -> Trial:
+        """The trial with the lowest reported objective value."""
+        candidates = [t for t in self._trials.values() if t.results]
+        if not candidates:
+            raise SearchSpaceError("no trial has reported any result")
+        return min(candidates, key=lambda t: t.best_result)

@@ -1,0 +1,38 @@
+"""Random search baseline for hyperparameter optimisation."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import default_rng
+from repro.exceptions import SearchSpaceError
+from repro.hpo.space import SearchSpace
+
+__all__ = ["random_search"]
+
+
+def random_search(objective: Callable[[dict[str, Any]], float], space: SearchSpace,
+                  *, n_trials: int = 20,
+                  seed: int | None = 0,
+                  minimize: bool = True) -> tuple[dict[str, Any], float, list[tuple[dict, float]]]:
+    """Evaluate ``n_trials`` random configurations and return the best.
+
+    Returns ``(best_config, best_value, history)`` where ``history`` is the
+    list of ``(config, value)`` pairs in evaluation order.
+    """
+    if n_trials < 1:
+        raise SearchSpaceError(f"n_trials must be >= 1, got {n_trials}")
+    rng = default_rng(seed)
+    history: list[tuple[dict, float]] = []
+    best_config: dict[str, Any] | None = None
+    best_value = float("inf") if minimize else float("-inf")
+    for _ in range(n_trials):
+        config = space.sample(rng)
+        value = float(objective(config))
+        history.append((config, value))
+        better = value < best_value if minimize else value > best_value
+        if better:
+            best_value = value
+            best_config = config
+    assert best_config is not None
+    return best_config, best_value, history

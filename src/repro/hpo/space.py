@@ -1,0 +1,133 @@
+"""Search-space primitives for hyperparameter optimisation.
+
+A :class:`SearchSpace` is an ordered mapping from parameter names to
+one-dimensional distributions; it can sample configurations, and it exposes
+the per-dimension structure that the TPE sampler needs (continuous vs
+categorical, optional log scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.config import default_rng
+from repro.exceptions import SearchSpaceError
+
+__all__ = ["Uniform", "LogUniform", "IntUniform", "Choice", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Continuous uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.low) or not np.isfinite(self.high) or self.low >= self.high:
+            raise SearchSpaceError(f"invalid Uniform bounds ({self.low}, {self.high})")
+
+    def sample(self, rng: np.random.Generator):
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class LogUniform:
+    """Log-uniform distribution on ``[low, high]`` (both strictly positive)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high <= 0 or self.low >= self.high:
+            raise SearchSpaceError(
+                f"invalid LogUniform bounds ({self.low}, {self.high})")
+
+    def sample(self, rng: np.random.Generator):
+        return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+
+
+@dataclass(frozen=True)
+class IntUniform:
+    """Uniform integer distribution on ``{low, ..., high}`` (inclusive)."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise SearchSpaceError(f"invalid IntUniform bounds ({self.low}, {self.high})")
+
+    def sample(self, rng: np.random.Generator):
+        return int(rng.integers(self.low, self.high + 1))
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Categorical distribution over an explicit list of options."""
+
+    options: tuple
+
+    def __init__(self, options: Sequence) -> None:
+        if not options:
+            raise SearchSpaceError("Choice requires at least one option")
+        object.__setattr__(self, "options", tuple(options))
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+
+DistributionT = Uniform | LogUniform | IntUniform | Choice
+
+
+class SearchSpace:
+    """Ordered collection of named one-dimensional distributions."""
+
+    def __init__(self, dimensions: dict[str, DistributionT]) -> None:
+        if not dimensions:
+            raise SearchSpaceError("search space must contain at least one dimension")
+        self.dimensions = dict(dimensions)
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def names(self) -> list[str]:
+        """Parameter names in insertion order."""
+        return list(self.dimensions)
+
+    def sample(self, rng: np.random.Generator | int | None = None) -> dict[str, Any]:
+        """Draw one configuration."""
+        generator = default_rng(rng)
+        return {name: dist.sample(generator) for name, dist in self.dimensions.items()}
+
+    def sample_many(self, n: int, rng: np.random.Generator | int | None = None
+                    ) -> list[dict[str, Any]]:
+        """Draw ``n`` independent configurations."""
+        if n < 0:
+            raise SearchSpaceError(f"n must be non-negative, got {n}")
+        generator = default_rng(rng)
+        return [self.sample(generator) for _ in range(n)]
+
+    def is_categorical(self, name: str) -> bool:
+        """Whether dimension ``name`` is a :class:`Choice`."""
+        return isinstance(self._dimension(name), Choice)
+
+    def is_log_scaled(self, name: str) -> bool:
+        """Whether dimension ``name`` is log-uniform."""
+        return isinstance(self._dimension(name), LogUniform)
+
+    def bounds(self, name: str) -> tuple[float, float]:
+        """Numeric bounds of a non-categorical dimension."""
+        dimension = self._dimension(name)
+        if isinstance(dimension, Choice):
+            raise SearchSpaceError(f"dimension {name!r} is categorical")
+        return float(dimension.low), float(dimension.high)
+
+    def _dimension(self, name: str) -> DistributionT:
+        try:
+            return self.dimensions[name]
+        except KeyError as exc:
+            raise SearchSpaceError(f"unknown dimension {name!r}") from exc

@@ -1,0 +1,34 @@
+"""Krylov subspace solvers with left preconditioning.
+
+The paper solves the preconditioned system ``P A x = P b`` with GMRES or
+BiCGStab (and CG when ``A`` is symmetric positive definite) and measures the
+preconditioning performance as the ratio of iteration counts with and without
+the preconditioner.  This package provides from-scratch implementations of the
+three solvers with a uniform interface and exact iteration counting -- the
+quantity the whole tuning framework optimises.
+
+Public surface
+--------------
+* :class:`SolveResult` -- solution, convergence flag, iteration count,
+  residual history.
+* :func:`gmres`, :func:`bicgstab`, :func:`cg` -- the individual solvers.
+* :func:`solve` -- dispatch by solver name (the categorical part of ``x_M``).
+* :func:`iteration_count` -- convenience wrapper returning only the count.
+"""
+
+from repro.krylov.base import SolveResult, as_preconditioner_function
+from repro.krylov.gmres import gmres
+from repro.krylov.bicgstab import bicgstab
+from repro.krylov.cg import cg
+from repro.krylov.solve import solve, iteration_count, KNOWN_SOLVERS
+
+__all__ = [
+    "SolveResult",
+    "as_preconditioner_function",
+    "gmres",
+    "bicgstab",
+    "cg",
+    "solve",
+    "iteration_count",
+    "KNOWN_SOLVERS",
+]

@@ -1,0 +1,123 @@
+"""Common data structures and helpers of the Krylov solvers.
+
+Every solver returns a :class:`SolveResult`; every solver accepts the
+preconditioner in any of three forms (``None``, an explicit sparse matrix, or
+a :class:`~repro.precond.base.Preconditioner`) which
+:func:`as_preconditioner_function` normalises to a plain callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError, ParameterError
+from repro.precond.base import Preconditioner
+from repro.sparse.csr import ensure_csr, validate_square
+
+__all__ = ["SolveResult", "as_preconditioner_function", "prepare_system"]
+
+#: Type of the preconditioner argument accepted by all solvers.
+PrecondLike = "Preconditioner | sp.spmatrix | np.ndarray | Callable | None"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a Krylov solve.
+
+    Attributes
+    ----------
+    solution:
+        Final iterate ``x``.
+    converged:
+        Whether the relative-residual tolerance was met within the budget.
+    iterations:
+        Number of iterations performed.  For restarted GMRES this counts the
+        *inner* iterations (matrix--vector products), which is the quantity
+        whose reduction the paper's performance metric measures.
+    residual_norms:
+        History of (preconditioned) residual norms, starting with iteration 0.
+    solver:
+        Name of the solver that produced the result.
+    breakdown:
+        Set when the iteration terminated because of a numerical breakdown
+        (e.g. ``rho == 0`` in BiCGStab); ``converged`` is then ``False``
+        unless the residual already met the tolerance.
+    """
+
+    solution: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+    solver: str = ""
+    breakdown: bool = False
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded residual norm (``inf`` when no history exists)."""
+        return self.residual_norms[-1] if self.residual_norms else float("inf")
+
+    def describe(self) -> str:
+        """One-line summary used in logs, examples and reports."""
+        status = "converged" if self.converged else (
+            "breakdown" if self.breakdown else "not converged")
+        return (f"{self.solver}: {status} in {self.iterations} iterations "
+                f"(final residual {self.final_residual:.3e})")
+
+
+def as_preconditioner_function(preconditioner, n: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Normalise any accepted preconditioner form to a callable ``r -> M r``.
+
+    Parameters
+    ----------
+    preconditioner:
+        ``None`` (identity), a :class:`~repro.precond.base.Preconditioner`, an
+        explicit sparse/dense matrix, or an arbitrary callable.
+    n:
+        Expected vector length (for validation of matrix shapes).
+    """
+    if preconditioner is None:
+        return lambda r: r
+    if isinstance(preconditioner, Preconditioner):
+        if preconditioner.shape[1] != n:
+            raise MatrixFormatError(
+                f"preconditioner shape {preconditioner.shape} incompatible with n={n}")
+        return preconditioner.apply
+    if sp.issparse(preconditioner) or isinstance(preconditioner, np.ndarray):
+        matrix = ensure_csr(preconditioner)
+        if matrix.shape != (n, n):
+            raise MatrixFormatError(
+                f"preconditioner shape {matrix.shape} incompatible with n={n}")
+        return lambda r: matrix @ r
+    if callable(preconditioner):
+        return preconditioner
+    raise MatrixFormatError(
+        f"unsupported preconditioner type {type(preconditioner)!r}")
+
+
+def prepare_system(matrix, rhs, x0, maxiter, rtol
+                   ) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray, int, float]:
+    """Validate and normalise the inputs shared by all solvers."""
+    csr = validate_square(matrix)
+    n = csr.shape[0]
+    b = np.asarray(rhs, dtype=np.float64).ravel()
+    if b.size != n:
+        raise MatrixFormatError(
+            f"right-hand side of length {b.size} incompatible with n={n}")
+    if x0 is None:
+        x = np.zeros(n, dtype=np.float64)
+    else:
+        x = np.asarray(x0, dtype=np.float64).ravel().copy()
+        if x.size != n:
+            raise MatrixFormatError(
+                f"initial guess of length {x.size} incompatible with n={n}")
+    if maxiter is None:
+        maxiter = min(max(10 * n, 100), 5000)
+    if maxiter < 1:
+        raise ParameterError(f"maxiter must be >= 1, got {maxiter}")
+    if not 0.0 < rtol < 1.0:
+        raise ParameterError(f"rtol must lie in (0, 1), got {rtol}")
+    return csr, b, x, int(maxiter), float(rtol)

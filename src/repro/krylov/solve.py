@@ -1,0 +1,69 @@
+"""Unified solver dispatch and iteration counting.
+
+The categorical part of the MCMC parameter vector selects the Krylov solver;
+this module maps the solver name to the implementation and provides the
+iteration-count helper the evaluation layer builds the paper's performance
+metric from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.krylov.base import SolveResult
+from repro.krylov.bicgstab import bicgstab
+from repro.krylov.cg import cg
+from repro.krylov.gmres import gmres
+
+__all__ = ["solve", "iteration_count", "KNOWN_SOLVERS"]
+
+#: Mapping from solver name to implementation.
+KNOWN_SOLVERS = {
+    "gmres": gmres,
+    "bicgstab": bicgstab,
+    "cg": cg,
+}
+
+
+def solve(matrix, rhs, *, solver: str = "gmres", preconditioner=None, x0=None,
+          rtol: float = 1e-8, maxiter: int | None = None, **solver_options
+          ) -> SolveResult:
+    """Solve ``A x = b`` with the named Krylov method.
+
+    Parameters
+    ----------
+    solver:
+        ``"gmres"``, ``"bicgstab"`` or ``"cg"`` (case insensitive).
+    solver_options:
+        Extra keyword arguments forwarded to the specific solver (e.g.
+        ``restart`` for GMRES).
+    """
+    key = solver.strip().lower()
+    if key not in KNOWN_SOLVERS:
+        raise ParameterError(
+            f"unknown solver {solver!r}; expected one of {sorted(KNOWN_SOLVERS)}")
+    implementation = KNOWN_SOLVERS[key]
+    return implementation(matrix, rhs, preconditioner=preconditioner, x0=x0,
+                          rtol=rtol, maxiter=maxiter, **solver_options)
+
+
+def iteration_count(matrix, rhs, *, solver: str = "gmres", preconditioner=None,
+                    rtol: float = 1e-8, maxiter: int | None = None,
+                    count_failures_as_maxiter: bool = True, **solver_options) -> int:
+    """Number of iterations needed to converge (the paper's raw measurement).
+
+    When the solver does not converge within its budget the count is reported
+    as ``maxiter`` (the paper's divergence scenarios, e.g. near-zero ``alpha``,
+    produce exactly this saturation), unless
+    ``count_failures_as_maxiter=False`` in which case the actual iteration
+    count at termination is returned.
+    """
+    result = solve(matrix, rhs, solver=solver, preconditioner=preconditioner,
+                   rtol=rtol, maxiter=maxiter, **solver_options)
+    if result.converged or not count_failures_as_maxiter:
+        return result.iterations
+    if maxiter is not None:
+        return int(maxiter)
+    n = np.asarray(rhs).ravel().size
+    return int(min(max(10 * n, 100), 5000))

@@ -1,0 +1,60 @@
+"""Thin logging helpers.
+
+The library never configures the root logger; it only creates namespaced child
+loggers so that applications embedding :mod:`repro` keep full control over log
+routing.  :func:`get_logger` is the single entry point used across the code
+base, and :func:`enable_console_logging` is a convenience for the examples and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the ``repro`` logger or one of its children.
+
+    Parameters
+    ----------
+    name:
+        Optional dotted suffix, e.g. ``"mcmc"`` yields ``repro.mcmc``.
+    """
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+@contextmanager
+def log_duration(message: str, logger: logging.Logger | None = None,
+                 level: int = logging.DEBUG) -> Iterator[None]:
+    """Context manager logging the wall-clock duration of a block."""
+    log = logger if logger is not None else get_logger()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        log.log(level, "%s took %.3f s", message, elapsed)

@@ -1,0 +1,70 @@
+"""Generators for the matrix study set (paper Table 1) and cheap features.
+
+The paper evaluates on 12 sparse matrices: 2-D finite-difference Laplacians at
+four mesh resolutions, nonsymmetric plasma-physics finite-element operators
+(``a00512``, ``a08192``), finite-element discretisations of an unsteady
+advection--diffusion problem at two polynomial orders, a climate-simulation
+matrix (``nonsym_r3_a11``) and three small ``PDD_RealSparse`` systems.  The
+original application matrices are not redistributable, so this package
+provides *synthetic analogues* that match the published dimension, symmetry,
+sparsity character and condition-number regime (see DESIGN.md, substitution
+table).  Every generator is deterministic given its seed.
+
+Public surface
+--------------
+* :func:`laplacian_2d` -- symmetric positive-definite 5-point Laplacian.
+* :func:`advection_diffusion` / :func:`unsteady_advection_diffusion` --
+  nonsymmetric convection-dominated operators (order 1 and order 2 analogues).
+* :func:`plasma_operator` -- ``a0XXXX`` analogues.
+* :func:`climate_operator` -- ``nonsym_r3_a11`` analogue.
+* :func:`pdd_real_sparse` -- ``PDD_RealSparse_N*`` analogues.
+* :class:`MatrixSpec`, :func:`get_matrix`, :func:`table1_specs`,
+  :func:`training_specs`, :func:`test_specs` -- the named registry.
+* :func:`matrix_features`, :func:`feature_names`, :func:`feature_vector` --
+  the cheap matrix features ``x_A``.
+"""
+
+from repro.matrices.laplacian import laplacian_2d, laplacian_2d_condition_number
+from repro.matrices.advection_diffusion import (
+    advection_diffusion,
+    unsteady_advection_diffusion,
+)
+from repro.matrices.plasma import plasma_operator
+from repro.matrices.climate import climate_operator
+from repro.matrices.pdd import pdd_real_sparse
+from repro.matrices.registry import (
+    MatrixSpec,
+    MATRIX_REGISTRY,
+    get_matrix,
+    get_spec,
+    table1_specs,
+    training_specs,
+    test_specs,
+    list_matrix_names,
+)
+from repro.matrices.features import (
+    matrix_features,
+    feature_names,
+    feature_vector,
+)
+
+__all__ = [
+    "laplacian_2d",
+    "laplacian_2d_condition_number",
+    "advection_diffusion",
+    "unsteady_advection_diffusion",
+    "plasma_operator",
+    "climate_operator",
+    "pdd_real_sparse",
+    "MatrixSpec",
+    "MATRIX_REGISTRY",
+    "get_matrix",
+    "get_spec",
+    "table1_specs",
+    "training_specs",
+    "test_specs",
+    "list_matrix_names",
+    "matrix_features",
+    "feature_names",
+    "feature_vector",
+]

@@ -1,0 +1,201 @@
+"""Unsteady advection--diffusion analogues (``unsteady_adv_diff_order*``).
+
+The paper's ``unsteady_adv_diff_order1_0001`` and ``_order2_0001`` matrices are
+225-dimensional nonsymmetric finite-element discretisations of an unsteady
+advection--diffusion problem with condition numbers around ``4.1e6`` and
+``6.6e6`` and a *dense-ish* fill factor of 0.646 (higher-order FEM couples many
+neighbouring degrees of freedom).  We reproduce those characteristics with a
+2-D convection-dominated operator on a 15x15 grid:
+
+* a 5-point (order 1) or 9-point (order 2) diffusion stencil with a small
+  diffusion coefficient,
+* a strong rotating advection field discretised with central differences
+  (which makes the matrix far from symmetric and badly conditioned),
+* an added unsteady mass term ``M / dt``,
+* a controlled amount of wide-bandwidth fill to match the 0.646 fill factor of
+  the FEM matrices (pairwise couplings decaying with graph distance).
+
+The order-2 variant uses a smaller diffusion coefficient and wider coupling so
+that it is measurably *harder* than the order-1 variant, matching the paper's
+use of order 2 as the unseen generalisation target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import default_rng
+from repro.exceptions import MatrixFormatError
+from repro.sparse.csr import ensure_csr
+
+__all__ = ["advection_diffusion", "unsteady_advection_diffusion"]
+
+
+def advection_diffusion(grid: int, *, diffusion: float = 1e-3,
+                        velocity: float = 1.0,
+                        seed: int | np.random.Generator | None = 0) -> sp.csr_matrix:
+    """Steady convection--diffusion operator on a ``grid x grid`` interior mesh.
+
+    Central-difference discretisation of
+    ``-diffusion * Laplace(u) + v . grad(u)`` with a rotating velocity field
+    ``v(x, y) = velocity * (y - 1/2, 1/2 - x)``.  Smaller ``diffusion`` and
+    larger ``velocity`` increase both the nonsymmetry and the condition number.
+    """
+    if grid < 2:
+        raise MatrixFormatError(f"grid must be >= 2, got {grid}")
+    if diffusion <= 0:
+        raise MatrixFormatError(f"diffusion must be positive, got {diffusion}")
+    rng = default_rng(seed)
+    n = grid * grid
+    h = 1.0 / (grid + 1)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+
+    def index(i: int, j: int) -> int:
+        return i * grid + j
+
+    for i in range(grid):
+        for j in range(grid):
+            x = (i + 1) * h
+            y = (j + 1) * h
+            vx = velocity * (y - 0.5)
+            vy = velocity * (0.5 - x)
+            centre = index(i, j)
+            # Diffusion: standard 5-point stencil scaled by diffusion / h^2.
+            diff_scale = diffusion / h ** 2
+            rows.append(centre); cols.append(centre); vals.append(4.0 * diff_scale)
+            for di, dj, v_comp in ((-1, 0, vx), (1, 0, vx), (0, -1, vy), (0, 1, vy)):
+                ni, nj = i + di, j + dj
+                if not (0 <= ni < grid and 0 <= nj < grid):
+                    continue
+                neighbour = index(ni, nj)
+                diffusive = -diff_scale
+                # Central difference convection: +v/(2h) downstream, -v/(2h) upstream.
+                advective = v_comp / (2.0 * h) * (1.0 if (di + dj) > 0 else -1.0)
+                rows.append(centre); cols.append(neighbour)
+                vals.append(diffusive + advective)
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    # Tiny random reaction term breaks any residual structural symmetry in the
+    # values without altering the sparsity pattern.
+    reaction = sp.diags(0.01 * np.abs(rng.standard_normal(n)) * diffusion / h ** 2,
+                        format="csr")
+    return ensure_csr(matrix + reaction)
+
+
+def _distance_coupling(grid: int, order: int, decay: float,
+                       rng: np.random.Generator) -> sp.csr_matrix:
+    """Wide-bandwidth coupling mimicking higher-order FEM connectivity.
+
+    Couples every pair of mesh nodes whose Chebyshev distance is at most
+    ``order + 1`` with a magnitude decaying like ``decay ** distance``; this is
+    what lifts the fill factor to the ~0.65 reported for the FEM matrices while
+    keeping the matrix value-wise dominated by the local operator.
+    """
+    n = grid * grid
+    coords = np.stack(np.meshgrid(np.arange(grid), np.arange(grid), indexing="ij"),
+                      axis=-1).reshape(n, 2)
+    # Chebyshev distance between all pairs (n is small: 225 for the paper size).
+    dist = np.abs(coords[:, None, :] - coords[None, :, :]).max(axis=2)
+    reach = max(order + 1, 1)
+    # Couple up to a large radius with decaying magnitude; the decay constant
+    # controls how quickly entries fall below the drop threshold.
+    magnitude = np.where(dist > 0, decay ** dist, 0.0)
+    magnitude[dist > max(2 * reach, int(0.55 * grid))] = 0.0
+    noise = rng.uniform(0.5, 1.5, size=magnitude.shape)
+    skew = rng.uniform(-0.25, 0.25, size=magnitude.shape)
+    dense = magnitude * noise * (1.0 + skew)
+    np.fill_diagonal(dense, 0.0)
+    return ensure_csr(sp.csr_matrix(dense))
+
+
+def _normalise_off_diagonal_ratio(matrix: sp.csr_matrix, target_ratio: float,
+                                  rng: np.random.Generator) -> sp.csr_matrix:
+    """Rescale each row's off-diagonal mass relative to its diagonal entry.
+
+    After rescaling, ``sum_{j != i} |A_ij| ≈ target_ratio * |A_ii|`` (with a
+    +-10 % per-row jitter).  This pins down the behaviour of the paper's
+    ``alpha`` perturbation: the Jacobi iteration matrix of ``A + alpha*diag(A)``
+    has ``||B||_inf ≈ target_ratio / (1 + alpha)``, so the Neumann series (and
+    hence the MCMC estimator) diverges for small ``alpha`` and becomes a
+    contraction once ``alpha ⪆ target_ratio - 1`` -- exactly the regime
+    transition the paper observes on this matrix family for ``alpha in [1, 5]``.
+    """
+    lil = matrix.tolil()
+    n = matrix.shape[0]
+    diag = matrix.diagonal()
+    for i in range(n):
+        cols = np.asarray(lil.rows[i], dtype=np.int64)
+        vals = np.asarray(lil.data[i], dtype=np.float64)
+        off_mask = cols != i
+        off_mass = float(np.abs(vals[off_mask]).sum())
+        if off_mass == 0.0 or diag[i] == 0.0:
+            continue
+        desired = target_ratio * abs(diag[i]) * rng.uniform(0.9, 1.1)
+        vals[off_mask] *= desired / off_mass
+        lil.data[i] = list(map(float, vals))
+    return ensure_csr(lil.tocsr())
+
+
+def unsteady_advection_diffusion(grid: int = 15, *, order: int = 1,
+                                 dt: float = 1e-3,
+                                 seed: int | np.random.Generator | None = 0) -> sp.csr_matrix:
+    """Unsteady advection--diffusion analogue of ``unsteady_adv_diff_orderX``.
+
+    Combines ``M / dt + K`` where ``K`` is the convection-dominated operator of
+    :func:`advection_diffusion` and ``M`` a lumped mass matrix, plus the
+    wide-bandwidth FEM-like coupling of :func:`_distance_coupling`.  Two
+    calibration steps match the published characteristics:
+
+    * the off-diagonal row mass is normalised to ~3x (order 1) / ~3.5x
+      (order 2) the diagonal, so that the MCMC preconditioner transitions from
+      divergent to convergent within the paper's ``alpha in [1, 5]`` range;
+    * rows are rescaled over four decades (badly scaled finite elements), which
+      drives the condition number into the 1e6 regime the paper reports
+      (4.1e6 for order 1, 6.6e6 for order 2) without affecting the Jacobi
+      iteration matrix -- row scaling cancels in ``I - D^{-1} A``.
+
+    Order 2 is the unseen generalisation target of the paper.
+
+    Parameters
+    ----------
+    grid:
+        Interior mesh points per side; the paper size is 15 (225 unknowns).
+    order:
+        Polynomial-order analogue, 1 or 2.
+    dt:
+        Pseudo time-step of the unsteady term; smaller values improve
+        conditioning, larger values make the operator closer to the steady one.
+    seed:
+        Seed for the (deterministic) random perturbations.
+    """
+    if order not in (1, 2):
+        raise MatrixFormatError(f"order must be 1 or 2, got {order}")
+    if dt <= 0:
+        raise MatrixFormatError(f"dt must be positive, got {dt}")
+    rng = default_rng(seed)
+    diffusion = 2e-4 if order == 1 else 8e-5
+    velocity = 1.0 if order == 1 else 1.35
+    operator = advection_diffusion(grid, diffusion=diffusion, velocity=velocity, seed=rng)
+    n = grid * grid
+    # Lumped, mildly varying mass matrix; dividing by dt adds a large diagonal,
+    # the fine balance between M/dt and K sets the final conditioning regime.
+    mass = sp.diags(1.0 + 0.05 * rng.standard_normal(n), format="csr")
+    decay = 0.62 if order == 1 else 0.68
+    coupling_scale = 0.35 if order == 1 else 0.55
+    coupling = _distance_coupling(grid, order, decay, rng) * coupling_scale
+    matrix = ensure_csr((mass * (1.0 / dt) * 1e-4) + operator + coupling)
+
+    # Calibrate the off-diagonal / diagonal balance (drives the alpha regime).
+    target_ratio = 3.0 if order == 1 else 3.5
+    matrix = _normalise_off_diagonal_ratio(matrix, target_ratio, rng)
+
+    # Badly scaled rows (element sizes spanning several decades) raise the
+    # condition number into the paper's 1e6 regime while leaving the Jacobi
+    # iteration matrix -- and hence the MCMC walk behaviour -- unchanged.
+    decades = 6.6 if order == 1 else 6.8
+    row_scales = np.logspace(0.0, -decades, n)
+    rng.shuffle(row_scales)
+    matrix = ensure_csr(sp.diags(row_scales, format="csr") @ matrix)
+    return matrix

@@ -1,0 +1,95 @@
+"""Cheap matrix features ``x_A`` for the surrogate model.
+
+Section 3.1 of the paper augments the graph representation with inexpensive
+matrix features "such as the norms, sparsity and symmetricity".  This module
+computes a fixed-order feature vector; standardisation (zero mean / unit
+variance across the training set) is applied later by the dataset layer so the
+raw values here stay interpretable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.csr import (
+    ensure_csr,
+    fill_factor,
+    nnz_per_row,
+    row_sums_abs,
+    sparsity,
+    symmetricity_score,
+    validate_square,
+)
+from repro.sparse.norms import norm_1, norm_fro, norm_inf
+
+__all__ = ["matrix_features", "feature_names", "feature_vector"]
+
+_FEATURE_NAMES: tuple[str, ...] = (
+    "log_dimension",
+    "log_nnz",
+    "fill_factor",
+    "sparsity",
+    "symmetricity",
+    "log_norm_1",
+    "log_norm_inf",
+    "log_norm_fro",
+    "diag_dominance",
+    "mean_degree",
+    "max_degree",
+    "degree_cv",
+    "diag_sign_fraction",
+    "bandwidth_fraction",
+)
+
+
+def feature_names() -> tuple[str, ...]:
+    """Ordered names of the entries returned by :func:`feature_vector`."""
+    return _FEATURE_NAMES
+
+
+def matrix_features(matrix: sp.spmatrix) -> dict[str, float]:
+    """Compute the cheap features of ``A`` as a name -> value mapping.
+
+    All features cost at most one pass over the non-zeros; no factorisation or
+    eigenvalue computation is involved, in line with the paper's requirement
+    that ``x_A`` stays inexpensive relative to a solver run.
+    """
+    csr = validate_square(matrix)
+    n = csr.shape[0]
+    degrees = nnz_per_row(csr).astype(np.float64)
+    diag = csr.diagonal()
+    abs_row_sums = row_sums_abs(csr)
+    off_diag_mass = abs_row_sums - np.abs(diag)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dominance = np.where(off_diag_mass > 0, np.abs(diag) / off_diag_mass, np.inf)
+    dominance_feature = float(np.clip(np.median(dominance), 0.0, 1e3))
+
+    coo = csr.tocoo()
+    bandwidth = int(np.abs(coo.row - coo.col).max()) if csr.nnz else 0
+
+    mean_degree = float(degrees.mean()) if n else 0.0
+    degree_std = float(degrees.std()) if n else 0.0
+    features = {
+        "log_dimension": float(np.log10(max(n, 1))),
+        "log_nnz": float(np.log10(max(csr.nnz, 1))),
+        "fill_factor": fill_factor(csr),
+        "sparsity": sparsity(csr),
+        "symmetricity": symmetricity_score(csr),
+        "log_norm_1": float(np.log10(max(norm_1(csr), 1e-300))),
+        "log_norm_inf": float(np.log10(max(norm_inf(csr), 1e-300))),
+        "log_norm_fro": float(np.log10(max(norm_fro(csr), 1e-300))),
+        "diag_dominance": dominance_feature,
+        "mean_degree": mean_degree,
+        "max_degree": float(degrees.max()) if n else 0.0,
+        "degree_cv": degree_std / mean_degree if mean_degree > 0 else 0.0,
+        "diag_sign_fraction": float(np.mean(diag > 0)) if n else 0.0,
+        "bandwidth_fraction": bandwidth / max(n - 1, 1),
+    }
+    return features
+
+
+def feature_vector(matrix: sp.spmatrix) -> np.ndarray:
+    """Feature vector in the fixed order given by :func:`feature_names`."""
+    features = matrix_features(ensure_csr(matrix))
+    return np.array([features[name] for name in _FEATURE_NAMES], dtype=np.float64)

@@ -1,0 +1,161 @@
+"""Named registry of the Table-1 matrix set.
+
+Each :class:`MatrixSpec` ties the paper's matrix name to the synthetic
+generator reproducing it, together with the *published* dimension, symmetry
+flag, condition number and fill factor so that the Table-1 harness can print
+paper-vs-measured columns side by side.  The registry also records which
+matrices belong to the training pool and which one is the unseen
+generalisation target (``unsteady_adv_diff_order2_0001``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError
+from repro.matrices.advection_diffusion import unsteady_advection_diffusion
+from repro.matrices.climate import climate_operator
+from repro.matrices.laplacian import laplacian_2d
+from repro.matrices.pdd import pdd_real_sparse
+from repro.matrices.plasma import plasma_operator
+
+__all__ = [
+    "MatrixSpec",
+    "MATRIX_REGISTRY",
+    "get_matrix",
+    "get_spec",
+    "table1_specs",
+    "training_specs",
+    "test_specs",
+    "list_matrix_names",
+]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Description of one matrix of the study set.
+
+    Attributes
+    ----------
+    name:
+        Paper name (e.g. ``"2DFDLaplace_16"``).
+    factory:
+        Zero-argument callable building the matrix.
+    dimension:
+        Published dimension (the factory is verified against it in tests).
+    symmetric:
+        Published symmetry flag.
+    kappa_paper:
+        Published condition number (order of magnitude reference).
+    phi_paper:
+        Published fill factor ``phi(A)``.
+    group:
+        Family label (``laplace``, ``plasma``, ``adv_diff``, ``climate``, ``pdd``).
+    role:
+        ``"train"`` for matrices used to build the training dataset,
+        ``"test"`` for the unseen generalisation target.
+    """
+
+    name: str
+    factory: Callable[[], sp.csr_matrix]
+    dimension: int
+    symmetric: bool
+    kappa_paper: float
+    phi_paper: float
+    group: str
+    role: str = "train"
+    notes: str = field(default="", compare=False)
+
+    def build(self) -> sp.csr_matrix:
+        """Construct the matrix (deterministic for a given package version)."""
+        matrix = self.factory()
+        if matrix.shape[0] != self.dimension:
+            raise MatrixFormatError(
+                f"{self.name}: generator produced dimension {matrix.shape[0]}, "
+                f"registry says {self.dimension}")
+        return matrix
+
+
+def _registry() -> dict[str, MatrixSpec]:
+    specs = [
+        MatrixSpec("2DFDLaplace_16", lambda: laplacian_2d(16), 225, True,
+                   1.0e2, 0.042, "laplace"),
+        MatrixSpec("2DFDLaplace_32", lambda: laplacian_2d(32), 961, True,
+                   4.1e2, 0.001, "laplace",
+                   notes="paper phi appears to be a typo; 5-point stencil gives ~0.005"),
+        MatrixSpec("2DFDLaplace_64", lambda: laplacian_2d(64), 3969, True,
+                   1.7e3, 0.0024, "laplace"),
+        MatrixSpec("2DFDLaplace_128", lambda: laplacian_2d(128), 16129, True,
+                   6.6e3, 0.0006, "laplace"),
+        MatrixSpec("nonsym_r3_a11", lambda: climate_operator(35, 23, 26), 20930, False,
+                   1.9e4, 0.0044, "climate"),
+        MatrixSpec("a00512", lambda: plasma_operator(512), 512, False,
+                   1.9e3, 0.059, "plasma"),
+        MatrixSpec("a08192", lambda: plasma_operator(8192), 8192, False,
+                   3.2e5, 0.0007, "plasma"),
+        MatrixSpec("unsteady_adv_diff_order1_0001",
+                   lambda: unsteady_advection_diffusion(15, order=1), 225, False,
+                   4.1e6, 0.646, "adv_diff"),
+        MatrixSpec("unsteady_adv_diff_order2_0001",
+                   lambda: unsteady_advection_diffusion(15, order=2), 225, False,
+                   6.6e6, 0.646, "adv_diff", role="test",
+                   notes="unseen ill-conditioned generalisation target"),
+        MatrixSpec("PDD_RealSparse_N64", lambda: pdd_real_sparse(64), 64, False,
+                   1.3e1, 0.1, "pdd"),
+        MatrixSpec("PDD_RealSparse_N128", lambda: pdd_real_sparse(128), 128, False,
+                   5.0, 0.1, "pdd"),
+        MatrixSpec("PDD_RealSparse_N256", lambda: pdd_real_sparse(256), 256, False,
+                   7.0, 0.1, "pdd"),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Mapping from paper matrix name to its :class:`MatrixSpec`.
+MATRIX_REGISTRY: dict[str, MatrixSpec] = _registry()
+
+
+def list_matrix_names() -> list[str]:
+    """Names of all registered matrices, in Table-1 order."""
+    return list(MATRIX_REGISTRY.keys())
+
+
+def get_spec(name: str) -> MatrixSpec:
+    """Return the spec for ``name``, raising a helpful error when unknown."""
+    try:
+        return MATRIX_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(MATRIX_REGISTRY)
+        raise MatrixFormatError(f"unknown matrix {name!r}; known: {known}") from exc
+
+
+def get_matrix(name: str) -> sp.csr_matrix:
+    """Build the matrix registered under ``name``."""
+    return get_spec(name).build()
+
+
+def table1_specs() -> list[MatrixSpec]:
+    """All specs in the order they appear in Table 1 of the paper."""
+    return list(MATRIX_REGISTRY.values())
+
+
+def training_specs(*, max_dimension: int | None = None) -> list[MatrixSpec]:
+    """Specs used to build the training dataset.
+
+    Parameters
+    ----------
+    max_dimension:
+        Optional cap used by the smoke profile to keep dataset construction
+        laptop-fast (the paper uses all eleven training matrices).
+    """
+    specs = [spec for spec in MATRIX_REGISTRY.values() if spec.role == "train"]
+    if max_dimension is not None:
+        specs = [spec for spec in specs if spec.dimension <= max_dimension]
+    return specs
+
+
+def test_specs() -> list[MatrixSpec]:
+    """The unseen generalisation targets (a single matrix in the paper)."""
+    return [spec for spec in MATRIX_REGISTRY.values() if spec.role == "test"]

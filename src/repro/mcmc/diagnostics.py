@@ -1,0 +1,99 @@
+"""Diagnostics for MCMC matrix inversion.
+
+Three kinds of checks are provided:
+
+* accuracy of the stochastic inverse against the exact inverse / the
+  deterministic truncated Neumann series (small matrices only),
+* the effect of the preconditioner on the conditioning of ``P A``,
+* walk-length profiles describing how the ``delta`` truncation behaves for a
+  given matrix and parameter choice.
+
+These are used by the unit tests, the ablation benchmarks and the examples;
+they are not needed on the hot path of the tuning framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ParameterError
+from repro.mcmc.parameters import MCMCParameters
+from repro.mcmc.walks import TransitionTable, WalkEngine
+from repro.sparse.csr import ensure_csr, validate_square
+from repro.sparse.norms import condition_number
+from repro.sparse.splitting import jacobi_splitting, perturb_diagonal
+
+__all__ = [
+    "inversion_error",
+    "preconditioned_condition_estimate",
+    "chain_length_profile",
+]
+
+
+def inversion_error(matrix: sp.spmatrix, approximate_inverse: sp.spmatrix, *,
+                    alpha: float = 0.0, ord: str = "fro") -> float:
+    """Relative error of ``P`` as an inverse of the perturbed matrix.
+
+    Computes ``||P A_hat - I|| / ||I||`` with ``A_hat = A + alpha * diag(A)``;
+    the Frobenius norm is the default.  Only sensible for small matrices since
+    the product is formed explicitly.
+    """
+    csr = validate_square(matrix)
+    approx = ensure_csr(approximate_inverse)
+    if approx.shape != csr.shape:
+        raise ParameterError(
+            f"shape mismatch: A is {csr.shape}, P is {approx.shape}")
+    perturbed = perturb_diagonal(csr, alpha)
+    n = csr.shape[0]
+    residual = (approx @ perturbed - sp.identity(n, format="csr")).tocsr()
+    if ord == "fro":
+        return float(sp.linalg.norm(residual, "fro") / np.sqrt(n))
+    if ord == "inf":
+        return float(np.abs(residual).sum(axis=1).max())
+    raise ParameterError(f"unsupported norm {ord!r}; use 'fro' or 'inf'")
+
+
+def preconditioned_condition_estimate(matrix: sp.spmatrix,
+                                      approximate_inverse: sp.spmatrix) -> float:
+    """Condition number of the left-preconditioned operator ``P A``.
+
+    Dense computation -- intended for the small matrices of the study set to
+    verify that a successful preconditioner indeed lowers ``kappa``.
+    """
+    csr = validate_square(matrix)
+    approx = ensure_csr(approximate_inverse)
+    product = (approx @ csr).tocsr()
+    return condition_number(product)
+
+
+def chain_length_profile(matrix: sp.spmatrix, parameters: MCMCParameters, *,
+                         seed: int | None = 0,
+                         sample_rows: int | None = None) -> dict[str, float]:
+    """Profile the walk lengths implied by ``parameters`` on ``matrix``.
+
+    Returns a dictionary with the configured chain count, the ``delta``-derived
+    maximum walk length, the observed mean/max length and the fractions of
+    walks terminated by each mechanism.  ``sample_rows`` limits the profiling
+    to the first rows (useful for large matrices).
+    """
+    csr = validate_square(matrix)
+    split = jacobi_splitting(csr, parameters.alpha)
+    table = TransitionTable(split.iteration_matrix)
+    max_length = parameters.max_walk_length(split.norm_inf_b)
+    engine = WalkEngine(table, weight_cutoff=parameters.delta, max_steps=max_length)
+    n = csr.shape[0]
+    rows = np.arange(n if sample_rows is None else min(sample_rows, n))
+    rng = np.random.default_rng(seed)
+    _, statistics = engine.estimate_rows(rows, parameters.num_chains(), rng)
+    walks = max(statistics.n_walks, 1)
+    return {
+        "chains_per_row": float(parameters.num_chains()),
+        "max_walk_length": float(max_length),
+        "norm_inf_b": float(split.norm_inf_b),
+        "mean_length": statistics.mean_length,
+        "observed_max_length": float(statistics.max_length),
+        "fraction_truncated_by_weight": statistics.truncated_by_weight / walks,
+        "fraction_truncated_by_length": statistics.truncated_by_length / walks,
+        "fraction_absorbed": statistics.absorbed / walks,
+    }

@@ -1,0 +1,292 @@
+"""Vectorised random-walk engine for Ulam--von Neumann matrix inversion.
+
+Given the Jacobi iteration matrix ``B`` (``A_hat = D (I - B)``), row ``i`` of
+the Neumann sum ``S = sum_{k>=0} B^k`` is estimated by independent Markov
+chains starting at state ``i``:
+
+* transition probabilities are the *Monte Carlo almost-optimal* (MAO) choice
+  ``p_{st} = |B_{st}| / sum_u |B_{su}|``;
+* the walk carries a signed weight ``W_k`` with ``W_0 = 1`` and
+  ``W_{k+1} = W_k * B_{s_k s_{k+1}} / p_{s_k s_{k+1}}
+            = W_k * sign(B_{s_k s_{k+1}}) * sum_u |B_{s_k u}|``;
+* at every step the walk deposits ``W_k`` into the estimate of ``S_{i, s_k}``;
+* the walk stops when its length reaches the ``delta``-derived maximum, when
+  its weight falls below the truncation threshold, or when it reaches a
+  dead-end row (no non-zeros).
+
+The engine is fully vectorised over walks: all chains of a block of starting
+rows advance simultaneously using a padded per-row transition table, which is
+what keeps a pure-NumPy implementation fast enough for the paper-scale
+matrices.  Determinism is guaranteed by seeding each (row-block) task with its
+own ``SeedSequence`` stream, so the result is independent of the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ParameterError
+from repro.sparse.csr import ensure_csr
+
+__all__ = ["TransitionTable", "WalkStatistics", "WalkEngine"]
+
+
+@dataclass(frozen=True)
+class WalkStatistics:
+    """Aggregate statistics of one batch of walks (for diagnostics/benchmarks)."""
+
+    n_walks: int
+    total_steps: int
+    mean_length: float
+    max_length: int
+    truncated_by_weight: int
+    truncated_by_length: int
+    absorbed: int
+
+    def merge(self, other: "WalkStatistics") -> "WalkStatistics":
+        """Combine statistics from two batches."""
+        n_walks = self.n_walks + other.n_walks
+        total_steps = self.total_steps + other.total_steps
+        mean = total_steps / n_walks if n_walks else 0.0
+        return WalkStatistics(
+            n_walks=n_walks,
+            total_steps=total_steps,
+            mean_length=mean,
+            max_length=max(self.max_length, other.max_length),
+            truncated_by_weight=self.truncated_by_weight + other.truncated_by_weight,
+            truncated_by_length=self.truncated_by_length + other.truncated_by_length,
+            absorbed=self.absorbed + other.absorbed,
+        )
+
+    @staticmethod
+    def empty() -> "WalkStatistics":
+        """Neutral element for :meth:`merge`."""
+        return WalkStatistics(0, 0, 0.0, 0, 0, 0, 0)
+
+
+class TransitionTable:
+    """Padded per-row transition table derived from the iteration matrix ``B``.
+
+    For each row the table stores, padded to the maximum row length:
+
+    * the cumulative MAO transition probabilities (for inverse-CDF sampling),
+    * the column indices of the non-zeros,
+    * the weight multiplier ``B_{st} / p_{st} = sign(B_{st}) * sum_u |B_{su}|``.
+
+    Rows without non-zeros are *absorbing*: a walk entering them terminates.
+    """
+
+    def __init__(self, b_matrix: sp.spmatrix) -> None:
+        csr = ensure_csr(b_matrix)
+        if csr.shape[0] != csr.shape[1]:
+            raise ParameterError(
+                f"iteration matrix must be square, got shape {csr.shape}")
+        self._n = csr.shape[0]
+        row_counts = np.diff(csr.indptr)
+        self._row_nnz = row_counts.astype(np.int64)
+        max_nnz = int(row_counts.max()) if csr.nnz else 0
+        self._max_nnz = max_nnz
+
+        self._cumprob = np.ones((self._n, max(max_nnz, 1)), dtype=np.float64)
+        self._columns = np.zeros((self._n, max(max_nnz, 1)), dtype=np.int64)
+        self._multiplier = np.zeros((self._n, max(max_nnz, 1)), dtype=np.float64)
+        self._row_abs_sum = np.zeros(self._n, dtype=np.float64)
+
+        data, indices, indptr = csr.data, csr.indices, csr.indptr
+        for row in range(self._n):
+            start, stop = indptr[row], indptr[row + 1]
+            if start == stop:
+                continue
+            values = data[start:stop]
+            cols = indices[start:stop]
+            abs_values = np.abs(values)
+            total = float(abs_values.sum())
+            self._row_abs_sum[row] = total
+            if total == 0.0:
+                # All stored entries are (numerically) zero: absorbing row.
+                self._row_nnz[row] = 0
+                continue
+            probabilities = abs_values / total
+            self._cumprob[row, : stop - start] = np.cumsum(probabilities)
+            # Guard against round-off: the last cumulative value must be >= 1.
+            self._cumprob[row, stop - start - 1] = 1.0
+            self._columns[row, : stop - start] = cols
+            self._multiplier[row, : stop - start] = np.sign(values) * total
+
+    # -- simple accessors ---------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of states (matrix dimension)."""
+        return self._n
+
+    @property
+    def max_row_nnz(self) -> int:
+        """Maximum number of non-zeros in any row (padding width)."""
+        return self._max_nnz
+
+    @property
+    def row_abs_sums(self) -> np.ndarray:
+        """``sum_u |B_{su}|`` per row (the weight multipliers' magnitude)."""
+        return self._row_abs_sum
+
+    def is_absorbing(self, states: np.ndarray) -> np.ndarray:
+        """Boolean mask of states that terminate a walk."""
+        return self._row_nnz[states] == 0
+
+    # -- sampling -----------------------------------------------------------
+    def step(self, states: np.ndarray, rng: np.random.Generator
+             ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance one step from ``states``.
+
+        Returns ``(next_states, multipliers)`` where ``multipliers`` are the
+        factors by which the walk weights must be multiplied.  Callers must
+        not pass absorbing states (filter with :meth:`is_absorbing` first).
+        """
+        if states.size == 0:
+            return states.copy(), np.empty(0, dtype=np.float64)
+        uniforms = rng.random(states.size)
+        cumulative = self._cumprob[states]
+        # Index of the first cumulative probability >= u (inverse-CDF sampling).
+        choice = np.sum(cumulative < uniforms[:, None], axis=1)
+        # Round-off guard: never exceed the row's non-zero count.
+        choice = np.minimum(choice, np.maximum(self._row_nnz[states] - 1, 0))
+        next_states = self._columns[states, choice]
+        multipliers = self._multiplier[states, choice]
+        return next_states, multipliers
+
+
+class WalkEngine:
+    """Runs batches of Ulam--von Neumann walks and accumulates row estimates.
+
+    Parameters
+    ----------
+    table:
+        Pre-computed :class:`TransitionTable` for the iteration matrix ``B``.
+    weight_cutoff:
+        Walks whose absolute weight drops below this value are truncated
+        (this implements the ``delta`` truncation-error criterion at the level
+        of individual chains).
+    max_steps:
+        Hard upper bound on the walk length (the ``delta``-derived length for
+        contractions, a safety cap otherwise).
+    """
+
+    #: Walks whose weight magnitude exceeds this bound are terminated: the
+    #: Neumann series is clearly divergent and letting the weight grow further
+    #: only produces floating-point overflow (the divergence scenarios the
+    #: paper deliberately includes, e.g. near-zero ``alpha``, hit this path).
+    WEIGHT_EXPLOSION_CAP = 1e8
+
+    def __init__(self, table: TransitionTable, *, weight_cutoff: float,
+                 max_steps: int) -> None:
+        if weight_cutoff < 0:
+            raise ParameterError(
+                f"weight_cutoff must be non-negative, got {weight_cutoff}")
+        if max_steps < 1:
+            raise ParameterError(f"max_steps must be >= 1, got {max_steps}")
+        self._table = table
+        self._weight_cutoff = float(weight_cutoff)
+        self._max_steps = int(max_steps)
+
+    @property
+    def max_steps(self) -> int:
+        """Maximum number of transitions per walk."""
+        return self._max_steps
+
+    @property
+    def weight_cutoff(self) -> float:
+        """Relative weight below which a walk is truncated."""
+        return self._weight_cutoff
+
+    def estimate_rows(self, start_rows: np.ndarray, chains_per_row: int,
+                      rng: np.random.Generator
+                      ) -> tuple[np.ndarray, WalkStatistics]:
+        """Estimate the Neumann-sum rows ``S[start_rows, :]``.
+
+        Returns
+        -------
+        estimates:
+            Dense array of shape ``(len(start_rows), n)`` holding the Monte
+            Carlo estimate of ``sum_k B^k`` restricted to the requested rows.
+        statistics:
+            Aggregate :class:`WalkStatistics` for the batch.
+        """
+        start_rows = np.asarray(start_rows, dtype=np.int64).ravel()
+        if chains_per_row < 1:
+            raise ParameterError(
+                f"chains_per_row must be >= 1, got {chains_per_row}")
+        n_rows = start_rows.size
+        n = self._table.dimension
+        estimates = np.zeros((n_rows, n), dtype=np.float64)
+        if n_rows == 0:
+            return estimates, WalkStatistics.empty()
+
+        # One walk per (row, chain) pair, all advanced in lock-step.
+        walk_row = np.repeat(np.arange(n_rows, dtype=np.int64), chains_per_row)
+        states = np.repeat(start_rows, chains_per_row)
+        weights = np.ones(states.size, dtype=np.float64)
+        n_walks = states.size
+
+        # Step 0 contribution: the identity term of the Neumann series.
+        np.add.at(estimates, (walk_row, states), weights)
+
+        lengths = np.zeros(n_walks, dtype=np.int64)
+        truncated_weight = 0
+        truncated_length = 0
+        absorbed = 0
+
+        active = ~self._table.is_absorbing(states)
+        absorbed += int(np.count_nonzero(~active))
+        active_indices = np.flatnonzero(active)
+
+        step = 0
+        while active_indices.size and step < self._max_steps:
+            step += 1
+            current_states = states[active_indices]
+            next_states, multipliers = self._table.step(current_states, rng)
+            new_weights = weights[active_indices] * multipliers
+
+            states[active_indices] = next_states
+            weights[active_indices] = new_weights
+            lengths[active_indices] = step
+
+            # Deposit the contribution of this step.
+            np.add.at(estimates,
+                      (walk_row[active_indices], next_states),
+                      new_weights)
+
+            # Decide which walks keep going.
+            abs_weights = np.abs(new_weights)
+            below_cutoff = abs_weights < self._weight_cutoff
+            exploded = abs_weights > self.WEIGHT_EXPLOSION_CAP
+            now_absorbing = self._table.is_absorbing(next_states)
+            keep = ~(below_cutoff | now_absorbing | exploded)
+            truncated_weight += int(np.count_nonzero(below_cutoff))
+            absorbed += int(np.count_nonzero(now_absorbing & ~below_cutoff))
+            truncated_length += int(np.count_nonzero(exploded & ~below_cutoff
+                                                     & ~now_absorbing))
+            active_indices = active_indices[keep]
+
+        truncated_length += int(active_indices.size)
+
+        estimates /= float(chains_per_row)
+        # Divergent parameter regimes can still overflow within a single step;
+        # scrub non-finite values so downstream code sees a (useless but
+        # well-formed) preconditioner rather than NaNs.
+        if not np.all(np.isfinite(estimates)):
+            estimates = np.nan_to_num(estimates, nan=0.0,
+                                      posinf=self.WEIGHT_EXPLOSION_CAP,
+                                      neginf=-self.WEIGHT_EXPLOSION_CAP)
+        statistics = WalkStatistics(
+            n_walks=n_walks,
+            total_steps=int(lengths.sum()),
+            mean_length=float(lengths.mean()) if n_walks else 0.0,
+            max_length=int(lengths.max()) if n_walks else 0,
+            truncated_by_weight=truncated_weight,
+            truncated_by_length=truncated_length,
+            absorbed=absorbed,
+        )
+        return estimates, statistics

@@ -1,0 +1,59 @@
+"""Minimal reverse-mode automatic differentiation and neural-network layers.
+
+The paper's surrogate is a graph neural network trained with Adam; no deep
+learning framework is assumed to be available, so this package provides the
+required machinery from scratch on top of NumPy:
+
+* :mod:`repro.nn.tensor` -- a :class:`Tensor` wrapping an ``ndarray`` with a
+  dynamic tape for reverse-mode differentiation;
+* :mod:`repro.nn.functional` -- differentiable operations (matmul, ReLU,
+  softplus, layer norm, dropout, segment reductions for message passing, MSE);
+* :mod:`repro.nn.layers` -- ``Module`` base class, ``Linear``, ``MLP``,
+  ``LayerNorm``, ``Dropout``, ``Sequential``;
+* :mod:`repro.nn.optim` -- SGD and Adam (with decoupled weight decay);
+* :mod:`repro.nn.init` -- Glorot/He initialisers;
+* :mod:`repro.nn.serialization` -- ``state_dict`` save/load round-trips.
+
+The implementation favours clarity and testability over raw speed: the
+surrogate models used in the experiments have at most a few hundred thousand
+parameters and train in seconds to minutes on a laptop CPU.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.layers import (
+    Module,
+    Linear,
+    Sequential,
+    MLP,
+    LayerNorm,
+    Dropout,
+    ReLU,
+    Softplus,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.init import xavier_uniform, kaiming_uniform, zeros, ones
+from repro.nn.serialization import save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "Sequential",
+    "MLP",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "Softplus",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "zeros",
+    "ones",
+    "save_state_dict",
+    "load_state_dict",
+]

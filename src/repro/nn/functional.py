@@ -1,0 +1,480 @@
+"""Differentiable operations on :class:`~repro.nn.tensor.Tensor`.
+
+Each function computes the forward value eagerly and registers a backward
+closure returning the gradients with respect to its inputs.  Broadcasting in
+the element-wise operations is supported; the backward pass reduces gradients
+back to the original operand shapes (:func:`_unbroadcast`).
+
+Beyond the usual dense operations, the module provides the *segment*
+reductions (:func:`segment_sum`, :func:`segment_mean`, :func:`segment_max`)
+used by the message-passing layers to aggregate edge messages per target node
+and node embeddings per graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AutodiffError
+from repro.nn.tensor import Tensor, _ensure_tensor, is_grad_enabled
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "matmul", "pow_scalar",
+    "sum", "mean", "reshape", "concat", "stack",
+    "relu", "leaky_relu", "sigmoid", "tanh", "exp", "log", "softplus",
+    "dropout", "layer_norm",
+    "gather_rows", "segment_sum", "segment_mean", "segment_max",
+    "mse_loss", "gaussian_nll_loss",
+]
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``gradient`` so that it matches ``shape`` after broadcasting."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum over leading dimensions added by broadcasting.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over axes that were of size 1 in the original operand.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+def _make(data: np.ndarray, parents, backward_fn) -> Tensor:
+    if is_grad_enabled():
+        return Tensor(data, parents=parents, backward_fn=backward_fn)
+    return Tensor(data)
+
+
+# --------------------------------------------------------------------------
+# Arithmetic
+# --------------------------------------------------------------------------
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise addition with broadcasting."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return _unbroadcast(grad, a.data.shape), _unbroadcast(grad, b.data.shape)
+
+    return _make(out_data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise subtraction with broadcasting."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return _unbroadcast(grad, a.data.shape), _unbroadcast(-grad, b.data.shape)
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise multiplication with broadcasting."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad * b.data, a.data.shape),
+                _unbroadcast(grad * a.data, b.data.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise division with broadcasting."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad / b.data, a.data.shape),
+                _unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    """Element-wise negation."""
+    a = _ensure_tensor(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return _make(-a.data, (a,), backward)
+
+
+def pow_scalar(a: Tensor, exponent: float) -> Tensor:
+    """Element-wise power with a constant exponent."""
+    a = _ensure_tensor(a)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return _make(out_data, (a,), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix multiplication (2-D x 2-D, or 1-D promoted on either side)."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        grad = np.asarray(grad, dtype=np.float64)
+        if a_data.ndim == 1 and b_data.ndim == 2:
+            grad_a = grad @ b_data.T
+            grad_b = np.outer(a_data, grad)
+        elif a_data.ndim == 2 and b_data.ndim == 1:
+            grad_a = np.outer(grad, b_data)
+            grad_b = a_data.T @ grad
+        elif a_data.ndim == 1 and b_data.ndim == 1:
+            grad_a = grad * b_data
+            grad_b = grad * a_data
+        else:
+            grad_a = grad @ b_data.T
+            grad_b = a_data.T @ grad
+        return grad_a, grad_b
+
+    return _make(out_data, (a, b), backward)
+
+
+# --------------------------------------------------------------------------
+# Reductions and shape manipulation
+# --------------------------------------------------------------------------
+
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum reduction."""
+    a = _ensure_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        if axis is None:
+            return (np.broadcast_to(grad, a.data.shape).copy(),)
+        if not keepdims:
+            grad = np.expand_dims(grad, axis=axis)
+        return (np.broadcast_to(grad, a.data.shape).copy(),)
+
+    return _make(out_data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean reduction."""
+    a = _ensure_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        count = a.data.shape[axis]
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64) / count
+        if axis is None:
+            return (np.broadcast_to(grad, a.data.shape).copy(),)
+        if not keepdims:
+            grad = np.expand_dims(grad, axis=axis)
+        return (np.broadcast_to(grad, a.data.shape).copy(),)
+
+    return _make(out_data, (a,), backward)
+
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reshape preserving the element order."""
+    a = _ensure_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (np.asarray(grad).reshape(a.data.shape),)
+
+    return _make(out_data, (a,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise AutodiffError("concat() requires at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        slices = []
+        for index in range(len(tensors)):
+            selector = [slice(None)] * grad.ndim
+            selector[axis] = slice(offsets[index], offsets[index + 1])
+            slices.append(grad[tuple(selector)])
+        return tuple(slices)
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise AutodiffError("stack() requires at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        return tuple(np.take(grad, index, axis=axis) for index in range(len(tensors)))
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+# --------------------------------------------------------------------------
+# Non-linearities
+# --------------------------------------------------------------------------
+
+def relu(a: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    a = _ensure_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return _make(out_data, (a,), backward)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (used inside the GATv2-style attention layer)."""
+    a = _ensure_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad):
+        return (grad * np.where(mask, 1.0, negative_slope),)
+
+    return _make(out_data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    a = _ensure_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return _make(out_data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    a = _ensure_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data ** 2),)
+
+    return _make(out_data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    """Element-wise exponential."""
+    a = _ensure_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return _make(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    """Element-wise natural logarithm."""
+    a = _ensure_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return _make(out_data, (a,), backward)
+
+
+def softplus(a: Tensor) -> Tensor:
+    """Numerically stable softplus ``ln(1 + e^x)`` (the sigma head of Eq. 1)."""
+    a = _ensure_tensor(a)
+    out_data = np.logaddexp(0.0, a.data)
+    sig = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * sig,)
+
+    return _make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------------
+# Regularisation and normalisation
+# --------------------------------------------------------------------------
+
+def dropout(a: Tensor, p: float, *, training: bool,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout.
+
+    During training each element is zeroed with probability ``p`` and the
+    survivors are scaled by ``1 / (1 - p)``; at evaluation time the input is
+    returned unchanged.
+    """
+    a = _ensure_tensor(a)
+    if not 0.0 <= p < 1.0:
+        raise AutodiffError(f"dropout probability must lie in [0, 1), got {p}")
+    if not training or p == 0.0:
+        def backward_identity(grad):
+            return (grad,)
+
+        return _make(a.data.copy(), (a,), backward_identity)
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(a.data.shape) >= p) / (1.0 - p)
+    out_data = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return _make(out_data, (a,), backward)
+
+
+def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, *, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension.
+
+    ``y = gamma * (x - mean) / sqrt(var + eps) + beta`` with the statistics
+    computed per row (per node / per sample), as used in both the message
+    passing layers and the fully connected stacks of the surrogate.
+    """
+    a = _ensure_tensor(a)
+    gamma = _ensure_tensor(gamma)
+    beta = _ensure_tensor(beta)
+    mu = a.data.mean(axis=-1, keepdims=True)
+    var = a.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalised = (a.data - mu) * inv_std
+    out_data = gamma.data * normalised + beta.data
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        grad_gamma = _unbroadcast(grad * normalised, gamma.data.shape)
+        grad_beta = _unbroadcast(grad, beta.data.shape)
+        grad_normalised = grad * gamma.data
+        # Standard layer-norm backward (per-row statistics).
+        grad_a = (grad_normalised
+                  - grad_normalised.mean(axis=-1, keepdims=True)
+                  - normalised * (grad_normalised * normalised).mean(axis=-1, keepdims=True)
+                  ) * inv_std
+        return grad_a, grad_gamma, grad_beta
+
+    return _make(out_data, (a, gamma, beta), backward)
+
+
+# --------------------------------------------------------------------------
+# Indexing and segment reductions (message passing primitives)
+# --------------------------------------------------------------------------
+
+def gather_rows(a: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``a[indices]`` (differentiable scatter-add in the backward)."""
+    a = _ensure_tensor(a)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = a.data[indices]
+
+    def backward(grad):
+        grad_a = np.zeros_like(a.data)
+        np.add.at(grad_a, indices, np.asarray(grad, dtype=np.float64))
+        return (grad_a,)
+
+    return _make(out_data, (a,), backward)
+
+
+def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` into ``num_segments`` buckets given by ``segment_ids``."""
+    a = _ensure_tensor(a)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape[0] != a.data.shape[0]:
+        raise AutodiffError(
+            f"segment_ids length {segment_ids.shape[0]} does not match rows "
+            f"{a.data.shape[0]}")
+    out_shape = (num_segments,) + a.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, a.data)
+
+    def backward(grad):
+        return (np.asarray(grad, dtype=np.float64)[segment_ids],)
+
+    return _make(out_data, (a,), backward)
+
+
+def segment_mean(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows per segment (empty segments yield zeros)."""
+    a = _ensure_tensor(a)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    summed = segment_sum(a, segment_ids, num_segments)
+    scale = Tensor((1.0 / safe_counts)[:, None] if a.data.ndim > 1 else 1.0 / safe_counts)
+    return mul(summed, scale)
+
+
+def segment_max(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Maximum of rows per segment (empty segments yield zeros).
+
+    The gradient flows only to the element that attained the maximum in each
+    segment/feature pair, matching the convention of deep-learning frameworks.
+    """
+    a = _ensure_tensor(a)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    feature_shape = a.data.shape[1:]
+    out_data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, segment_ids, a.data)
+    empty = ~np.isin(np.arange(num_segments), segment_ids)
+    if empty.any():
+        out_data[empty] = 0.0
+
+    # Winner mask: an element wins if it equals the segment maximum; ties share
+    # the gradient equally.
+    winners = (a.data == out_data[segment_ids]).astype(np.float64)
+    winner_counts = np.zeros((num_segments,) + feature_shape, dtype=np.float64)
+    np.add.at(winner_counts, segment_ids, winners)
+    winner_counts = np.maximum(winner_counts, 1.0)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        return (winners * (grad / winner_counts)[segment_ids],)
+
+    return _make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------------
+# Losses
+# --------------------------------------------------------------------------
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    prediction = _ensure_tensor(prediction)
+    target = _ensure_tensor(target)
+    difference = sub(prediction, target)
+    return mean(mul(difference, difference))
+
+
+def gaussian_nll_loss(mu: Tensor, sigma: Tensor, target: Tensor, *,
+                      eps: float = 1e-6) -> Tensor:
+    """Gaussian negative log-likelihood (the alternative objective of Sec. 3.1).
+
+    ``0.5 * (log(sigma^2) + (target - mu)^2 / sigma^2)`` averaged over the
+    batch; ``eps`` guards against the numerical instability for tiny sigma the
+    paper mentions as the reason for preferring the MSE objective.
+    """
+    mu = _ensure_tensor(mu)
+    sigma = _ensure_tensor(sigma)
+    target = _ensure_tensor(target)
+    variance = add(mul(sigma, sigma), Tensor(eps))
+    residual = sub(target, mu)
+    quadratic = div(mul(residual, residual), variance)
+    return mean(mul(add(log(variance), quadratic), Tensor(0.5)))

@@ -1,0 +1,48 @@
+"""Parameter initialisers.
+
+Glorot/Xavier and He/Kaiming uniform initialisation for the linear layers of
+the surrogate, plus trivial constant initialisers for biases and the affine
+parameters of layer normalisation.  All initialisers take an explicit
+:class:`numpy.random.Generator` so model construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros", "ones"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation ``U(-a, a)`` with
+    ``a = gain * sqrt(6 / (fan_in + fan_out))``."""
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape)) if shape else 1
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    if fan_in + fan_out <= 0:
+        raise ParameterError(f"invalid shape for initialisation: {shape}")
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU activations."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    if fan_in <= 0:
+        raise ParameterError(f"invalid shape for initialisation: {shape}")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (layer-norm gains)."""
+    return np.ones(shape, dtype=np.float64)

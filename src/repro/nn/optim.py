@@ -1,0 +1,126 @@
+"""Optimisers: SGD (with momentum) and Adam (with decoupled weight decay).
+
+The paper trains the surrogate with Adam; weight decay is one of the
+hyperparameters explored during HPO (the selected configuration uses a decay
+of 1, which corresponds to strong decoupled regularisation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Common optimiser interface."""
+
+    def __init__(self, parameters: list[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ParameterError(f"learning rate must be positive, got {lr}")
+        self.parameters = [p for p in parameters if p.requires_grad]
+        if not self.parameters:
+            raise ParameterError("optimizer received no trainable parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    @abstractmethod
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-2, *,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ParameterError(f"momentum must lie in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ParameterError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += gradient
+                update = velocity
+            else:
+                update = gradient
+            parameter.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser with decoupled (AdamW-style) weight decay.
+
+    Parameters
+    ----------
+    parameters:
+        Trainable tensors.
+    lr:
+        Learning rate (the paper's selected value is ``1.848e-3``).
+    betas:
+        Exponential decay rates of the first and second moment estimates.
+    eps:
+        Numerical stabiliser added to the denominator.
+    weight_decay:
+        Decoupled weight-decay coefficient applied directly to the weights.
+    """
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-3, *,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ParameterError(f"betas must lie in [0, 1), got {betas}")
+        if eps <= 0.0:
+            raise ParameterError(f"eps must be positive, got {eps}")
+        if weight_decay < 0.0:
+            raise ParameterError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.betas = (beta1, beta2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        self._step_count += 1
+        bias_correction1 = 1.0 - beta1 ** self._step_count
+        bias_correction2 = 1.0 - beta2 ** self._step_count
+        for parameter, first, second in zip(self.parameters, self._first_moment,
+                                            self._second_moment):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            first *= beta1
+            first += (1.0 - beta1) * gradient
+            second *= beta2
+            second += (1.0 - beta2) * gradient ** 2
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            update = corrected_first / (np.sqrt(corrected_second) + self.eps)
+            if self.weight_decay:
+                # Decoupled weight decay (AdamW): shrink weights directly.
+                parameter.data -= self.lr * self.weight_decay * parameter.data
+            parameter.data -= self.lr * update

@@ -1,0 +1,42 @@
+"""Persistence of model parameters.
+
+State dictionaries produced by :meth:`repro.nn.layers.Module.state_dict` are
+plain ``name -> ndarray`` mappings; they are stored as compressed ``.npz``
+archives so that a trained surrogate (Pre-BO or BO-enhanced) can be saved,
+reloaded and reused without retraining.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import SurrogateError
+
+__all__ = ["save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str | os.PathLike) -> str:
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    if not state:
+        raise SurrogateError("refusing to save an empty state dict")
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_state_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a state dictionary previously written by :func:`save_state_dict`."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise SurrogateError(f"no such state file: {path}")
+    with np.load(path) as archive:
+        return {name: np.asarray(archive[name]) for name in archive.files}

@@ -1,0 +1,264 @@
+"""Reverse-mode autodiff tensor.
+
+A :class:`Tensor` wraps a ``float64`` NumPy array together with an optional
+gradient buffer and a closure that propagates gradients to its parents.  The
+graph is dynamic: every operation in :mod:`repro.nn.functional` records its
+parents and a backward closure; :meth:`Tensor.backward` topologically sorts the
+tape and accumulates gradients.
+
+Only the features needed by the surrogate model are implemented, but those are
+implemented carefully: full broadcasting support in the element-wise
+operations, correct un-broadcasting in their backward passes, and gradient
+accumulation when a tensor feeds several consumers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import AutodiffError
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling tape construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as a ``float64`` NumPy array.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`.
+    parents:
+        Tensors this node was computed from (internal use).
+    backward_fn:
+        Closure receiving the upstream gradient of this node and writing
+        gradients into the parents (internal use).
+    name:
+        Optional label used in error messages and debugging.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 parents: Iterable["Tensor"] = (),
+                 backward_fn: Callable[[np.ndarray], None] | None = None,
+                 name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = tuple(parents) if _GRAD_ENABLED else ()
+        self._backward_fn = backward_fn if _GRAD_ENABLED else None
+        self.name = name
+
+    # -- ndarray-like conveniences ------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        if self.data.size != 1:
+            raise AutodiffError(
+                f"item() requires a scalar tensor, got shape {self.shape}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}"
+                f"{label})")
+
+    # -- gradient machinery ---------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, gradient: np.ndarray) -> None:
+        """Add ``gradient`` into :attr:`grad` (allocating it on first use)."""
+        if not self.requires_grad:
+            return
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != self.data.shape:
+            raise AutodiffError(
+                f"gradient shape {gradient.shape} does not match tensor shape "
+                f"{self.data.shape} (tensor {self.name or '<unnamed>'})")
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    def _toposort(self) -> list["Tensor"]:
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def backward(self, gradient: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        gradient:
+            Upstream gradient; defaults to 1 for scalar tensors (the usual
+            loss case) and must be supplied explicitly otherwise.
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise AutodiffError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}")
+            gradient = np.ones_like(self.data)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != self.data.shape:
+            gradient = np.broadcast_to(gradient, self.data.shape).copy()
+
+        order = self._toposort()
+        grad_map: dict[int, np.ndarray] = {id(self): gradient}
+        for node in reversed(order):
+            node_grad = grad_map.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node.accumulate_grad(node_grad)
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            if parent_grads is None:
+                continue
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None:
+                    continue
+                existing = grad_map.get(id(parent))
+                if existing is None:
+                    grad_map[id(parent)] = np.asarray(parent_grad, dtype=np.float64)
+                else:
+                    grad_map[id(parent)] = existing + parent_grad
+
+    # -- operator sugar (delegates to functional) -----------------------------
+    def __add__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, _ensure_tensor(other))
+
+    def __radd__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(_ensure_tensor(other), self)
+
+    def __sub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(self, _ensure_tensor(other))
+
+    def __rsub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(_ensure_tensor(other), self)
+
+    def __mul__(self, other):
+        from repro.nn import functional as F
+
+        return F.mul(self, _ensure_tensor(other))
+
+    def __rmul__(self, other):
+        from repro.nn import functional as F
+
+        return F.mul(_ensure_tensor(other), self)
+
+    def __truediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(self, _ensure_tensor(other))
+
+    def __rtruediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(_ensure_tensor(other), self)
+
+    def __neg__(self):
+        from repro.nn import functional as F
+
+        return F.neg(self)
+
+    def __matmul__(self, other):
+        from repro.nn import functional as F
+
+        return F.matmul(self, _ensure_tensor(other))
+
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.nn import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.nn import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.nn import functional as F
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return F.reshape(self, shape)
+
+
+def _ensure_tensor(value) -> Tensor:
+    """Wrap plain numbers / arrays into constant tensors."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))

@@ -1,0 +1,27 @@
+"""Baseline preconditioners and the common preconditioner interface.
+
+The paper positions MCMC matrix inversion against the classical algebraic
+preconditioners of the literature review: incomplete factorisations (ILU / IC),
+sparse approximate inverses (SPAI) and simple diagonal scaling.  This package
+implements those baselines from scratch so that the benchmark harness can
+compare them with the MCMC preconditioner under identical solver settings, and
+defines the :class:`Preconditioner` interface consumed by the Krylov solvers.
+"""
+
+from repro.precond.base import Preconditioner, IdentityPreconditioner, MatrixPreconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.neumann import NeumannPreconditioner
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.ichol import IncompleteCholeskyPreconditioner
+from repro.precond.spai import SPAIPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "MatrixPreconditioner",
+    "JacobiPreconditioner",
+    "NeumannPreconditioner",
+    "ILU0Preconditioner",
+    "IncompleteCholeskyPreconditioner",
+    "SPAIPreconditioner",
+]

@@ -1,0 +1,30 @@
+"""Jacobi (diagonal) preconditioner.
+
+The cheapest classical baseline: ``M = diag(A)^{-1}``.  Useful both as a sanity
+baseline in the comparison benchmarks and as the limiting case of the MCMC
+preconditioner when the walk length collapses to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PreconditionerError
+from repro.precond.base import MatrixPreconditioner
+from repro.sparse.csr import validate_square
+
+__all__ = ["JacobiPreconditioner"]
+
+
+class JacobiPreconditioner(MatrixPreconditioner):
+    """Diagonal-scaling preconditioner ``M = diag(A)^{-1}``."""
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        csr = validate_square(matrix)
+        diagonal = csr.diagonal()
+        if np.any(diagonal == 0.0):
+            raise PreconditionerError(
+                "Jacobi preconditioner requires a non-zero diagonal")
+        inverse = sp.diags(1.0 / diagonal, format="csr")
+        super().__init__(inverse, name="JacobiPreconditioner")

@@ -1,0 +1,90 @@
+"""Sparse approximate inverse (SPAI) preconditioner with a fixed pattern.
+
+Grote & Huckle's SPAI -- cited by the paper as the classical remedy to the
+parallelism bottleneck of incomplete factorisations -- computes an explicit
+sparse ``M ≈ A^{-1}`` by minimising ``||A M - I||_F`` column by column subject
+to a prescribed sparsity pattern.  Each column is an independent small
+least-squares problem, which is why the method parallelises as well as the
+MCMC estimator.  We implement the static-pattern variant where the pattern of
+``M`` is that of ``A`` (or of a power of ``A``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PreconditionerError
+from repro.precond.base import MatrixPreconditioner
+from repro.sparse.csr import ensure_csr, validate_square
+
+__all__ = ["SPAIPreconditioner"]
+
+
+def _spai_static(matrix: sp.csr_matrix, pattern: sp.csr_matrix) -> sp.csr_matrix:
+    """Solve the column-wise least-squares problems for a static pattern."""
+    n = matrix.shape[0]
+    csc = matrix.tocsc()
+    pattern_csc = pattern.tocsc()
+    columns: list[np.ndarray] = []
+    rows: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    for j in range(n):
+        support = pattern_csc.indices[pattern_csc.indptr[j]:pattern_csc.indptr[j + 1]]
+        if support.size == 0:
+            continue
+        # Rows touched by the support columns of A.
+        sub = csc[:, support]
+        touched = np.unique(sub.indices)
+        if touched.size == 0:
+            continue
+        dense_block = sub.toarray()[touched, :]
+        rhs = np.zeros(touched.size, dtype=np.float64)
+        position = np.searchsorted(touched, j)
+        if position < touched.size and touched[position] == j:
+            rhs[position] = 1.0
+        solution, *_ = np.linalg.lstsq(dense_block, rhs, rcond=None)
+        columns.append(np.full(support.size, j, dtype=np.int64))
+        rows.append(support.astype(np.int64))
+        values.append(solution)
+    if not values:
+        raise PreconditionerError("SPAI produced an empty preconditioner")
+    coo = sp.coo_matrix(
+        (np.concatenate(values), (np.concatenate(rows), np.concatenate(columns))),
+        shape=(n, n),
+    )
+    return ensure_csr(coo.tocsr())
+
+
+class SPAIPreconditioner(MatrixPreconditioner):
+    """Static-pattern sparse approximate inverse ``min ||A M - I||_F``.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix ``A``.
+    pattern_power:
+        The sparsity pattern of ``M`` is taken from ``A^pattern_power``
+        (1 = pattern of ``A``; 2 adds one level of fill and is noticeably more
+        accurate at a quadratic cost in the pattern size).
+    """
+
+    def __init__(self, matrix: sp.spmatrix, *, pattern_power: int = 1) -> None:
+        if pattern_power < 1:
+            raise PreconditionerError(
+                f"pattern_power must be >= 1, got {pattern_power}")
+        csr = validate_square(matrix)
+        pattern = csr.copy()
+        pattern.data = np.ones_like(pattern.data)
+        accumulated = pattern
+        for _ in range(pattern_power - 1):
+            accumulated = (accumulated @ pattern).tocsr()
+            accumulated.data = np.ones_like(accumulated.data)
+        approximate_inverse = _spai_static(csr, ensure_csr(accumulated))
+        super().__init__(approximate_inverse, name="SPAIPreconditioner")
+        self._pattern_power = pattern_power
+
+    @property
+    def pattern_power(self) -> int:
+        """Power of ``A`` whose pattern constrains the approximate inverse."""
+        return self._pattern_power

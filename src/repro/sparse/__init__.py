@@ -1,0 +1,77 @@
+"""Sparse-matrix utilities shared by every other subsystem.
+
+The paper's pipeline manipulates matrices exclusively in compressed sparse row
+(CSR) form: the MCMC walk engine needs row-wise transition probabilities, the
+Krylov solvers need fast SpMV, and the preconditioner post-processing needs
+row-wise truncation to a target fill factor.  This package wraps
+:mod:`scipy.sparse` with the small amount of structure-aware logic the rest of
+the library relies on.
+
+Public surface
+--------------
+``ensure_csr``, ``validate_square``, ``is_symmetric``, ``symmetricity_score``,
+``sparsity``, ``fill_factor``, ``drop_small_entries``, ``truncate_to_fill_factor``,
+``row_sums_abs``  (``repro.sparse.csr``)
+
+``norm_1``, ``norm_inf``, ``norm_fro``, ``spectral_radius``, ``norm_2_estimate``,
+``condition_number``, ``condition_number_estimate``  (``repro.sparse.norms``)
+
+``jacobi_splitting``, ``perturb_diagonal``, ``iteration_matrix``,
+``neumann_series_inverse``, ``SplittingResult``  (``repro.sparse.splitting``)
+"""
+
+from repro.sparse.csr import (
+    ensure_csr,
+    validate_square,
+    is_symmetric,
+    symmetricity_score,
+    sparsity,
+    fill_factor,
+    nnz_per_row,
+    row_sums_abs,
+    drop_small_entries,
+    truncate_to_fill_factor,
+    random_sparse,
+)
+from repro.sparse.norms import (
+    norm_1,
+    norm_inf,
+    norm_fro,
+    norm_2_estimate,
+    spectral_radius,
+    condition_number,
+    condition_number_estimate,
+)
+from repro.sparse.splitting import (
+    SplittingResult,
+    jacobi_splitting,
+    perturb_diagonal,
+    iteration_matrix,
+    neumann_series_inverse,
+)
+
+__all__ = [
+    "ensure_csr",
+    "validate_square",
+    "is_symmetric",
+    "symmetricity_score",
+    "sparsity",
+    "fill_factor",
+    "nnz_per_row",
+    "row_sums_abs",
+    "drop_small_entries",
+    "truncate_to_fill_factor",
+    "random_sparse",
+    "norm_1",
+    "norm_inf",
+    "norm_fro",
+    "norm_2_estimate",
+    "spectral_radius",
+    "condition_number",
+    "condition_number_estimate",
+    "SplittingResult",
+    "jacobi_splitting",
+    "perturb_diagonal",
+    "iteration_matrix",
+    "neumann_series_inverse",
+]

@@ -1,0 +1,239 @@
+"""CSR helpers: validation, structural metrics and fill-in control.
+
+These functions implement the small structural operations the paper's pipeline
+needs around :mod:`scipy.sparse`:
+
+* the *sparsity* / *fill factor* ``phi(A) = nnz(A) / n^2`` reported in Table 1,
+* the symmetricity flag used as a cheap matrix feature,
+* row-wise truncation of the MCMC preconditioner to a target fill factor
+  (the paper fixes the preconditioner fill to ``2 * phi(A)``) and dropping of
+  entries below the truncation threshold (``1e-9`` in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import default_rng
+from repro.exceptions import MatrixFormatError
+
+__all__ = [
+    "ensure_csr",
+    "validate_square",
+    "is_symmetric",
+    "symmetricity_score",
+    "sparsity",
+    "fill_factor",
+    "nnz_per_row",
+    "row_sums_abs",
+    "drop_small_entries",
+    "truncate_to_fill_factor",
+    "random_sparse",
+]
+
+
+def ensure_csr(matrix: sp.spmatrix | np.ndarray, *, copy: bool = False,
+               dtype: np.dtype | type = np.float64) -> sp.csr_matrix:
+    """Convert ``matrix`` to CSR format with the requested dtype.
+
+    Dense inputs are accepted for convenience in tests and examples.  Explicit
+    zeros are eliminated so that structural queries (degrees, transition
+    probabilities) reflect the true pattern.
+    """
+    if isinstance(matrix, np.ndarray):
+        if matrix.ndim != 2:
+            raise MatrixFormatError(
+                f"expected a 2-D array, got shape {matrix.shape}")
+        out = sp.csr_matrix(np.asarray(matrix, dtype=dtype))
+    elif sp.issparse(matrix):
+        out = matrix.tocsr(copy=copy)
+        if out.dtype != np.dtype(dtype):
+            out = out.astype(dtype)
+        elif copy and out is matrix:
+            out = out.copy()
+    else:
+        raise MatrixFormatError(
+            f"expected a numpy array or scipy sparse matrix, got {type(matrix)!r}")
+    out.eliminate_zeros()
+    out.sort_indices()
+    return out
+
+
+def validate_square(matrix: sp.spmatrix, name: str = "A") -> sp.csr_matrix:
+    """Return ``matrix`` as CSR, raising if it is not square or is empty."""
+    csr = ensure_csr(matrix)
+    n_rows, n_cols = csr.shape
+    if n_rows != n_cols:
+        raise MatrixFormatError(
+            f"{name} must be square, got shape {csr.shape}")
+    if n_rows == 0:
+        raise MatrixFormatError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(csr.data)):
+        raise MatrixFormatError(f"{name} contains non-finite entries")
+    return csr
+
+
+def is_symmetric(matrix: sp.spmatrix, tol: float = 1e-12) -> bool:
+    """Return ``True`` when ``A`` equals its transpose up to ``tol``.
+
+    The comparison is relative to the largest magnitude entry so that scaling
+    a symmetric matrix does not change the answer.
+    """
+    csr = ensure_csr(matrix)
+    if csr.shape[0] != csr.shape[1]:
+        return False
+    diff = (csr - csr.T).tocoo()
+    if diff.nnz == 0:
+        return True
+    scale = float(np.abs(csr.data).max()) if csr.nnz else 1.0
+    return float(np.abs(diff.data).max()) <= tol * max(scale, 1.0)
+
+
+def symmetricity_score(matrix: sp.spmatrix) -> float:
+    """Continuous symmetry measure in ``[0, 1]``.
+
+    Defined as ``1 - ||A - A^T||_F / (2 ||A||_F)`` (clipped to ``[0, 1]``), so
+    that exactly symmetric matrices score 1.0 and skew-symmetric matrices score
+    0.0.  Used as one of the cheap matrix features ``x_A``.
+    """
+    csr = ensure_csr(matrix)
+    denom = sp.linalg.norm(csr, "fro")
+    if denom == 0.0:
+        return 1.0
+    num = sp.linalg.norm((csr - csr.T).tocsr(), "fro")
+    return float(np.clip(1.0 - num / (2.0 * denom), 0.0, 1.0))
+
+
+def sparsity(matrix: sp.spmatrix) -> float:
+    """Fraction of *zero* entries: ``1 - nnz / (n_rows * n_cols)``."""
+    csr = ensure_csr(matrix)
+    total = csr.shape[0] * csr.shape[1]
+    if total == 0:
+        return 0.0
+    return 1.0 - csr.nnz / total
+
+
+def fill_factor(matrix: sp.spmatrix) -> float:
+    """Fill factor ``phi(A) = nnz(A) / (n_rows * n_cols)`` (Table 1 column)."""
+    csr = ensure_csr(matrix)
+    total = csr.shape[0] * csr.shape[1]
+    if total == 0:
+        return 0.0
+    return csr.nnz / total
+
+
+def nnz_per_row(matrix: sp.spmatrix) -> np.ndarray:
+    """Number of structural non-zeros in each row (the vertex degree feature)."""
+    csr = ensure_csr(matrix)
+    return np.diff(csr.indptr).astype(np.int64)
+
+
+def row_sums_abs(matrix: sp.spmatrix) -> np.ndarray:
+    """Row sums of absolute values, i.e. ``sum_j |A_ij|`` for every row ``i``."""
+    csr = ensure_csr(matrix)
+    return np.asarray(np.abs(csr).sum(axis=1)).ravel()
+
+
+def drop_small_entries(matrix: sp.spmatrix, threshold: float) -> sp.csr_matrix:
+    """Remove entries with ``|A_ij| < threshold`` (the truncation threshold).
+
+    The paper fixes this threshold to ``1e-9`` for the MCMC preconditioner so
+    that truncation effectively never discards information; the knob is still
+    exposed because the conclusion section lists it as a future tuning target.
+    """
+    if threshold < 0:
+        raise MatrixFormatError(f"threshold must be non-negative, got {threshold}")
+    csr = ensure_csr(matrix, copy=True)
+    if threshold == 0.0 or csr.nnz == 0:
+        return csr
+    mask = np.abs(csr.data) < threshold
+    if mask.any():
+        csr.data[mask] = 0.0
+        csr.eliminate_zeros()
+    return csr
+
+
+def truncate_to_fill_factor(matrix: sp.spmatrix, target_fill: float) -> sp.csr_matrix:
+    """Keep only the largest-magnitude entries so that ``phi`` <= ``target_fill``.
+
+    The budget of retained non-zeros is distributed per row proportionally to
+    the row's share of the matrix non-zeros (with at least one entry per
+    non-empty row), mirroring how the reference MCMCMI implementation bounds
+    preconditioner memory to ``2 * phi(A)``.
+
+    Parameters
+    ----------
+    matrix:
+        Matrix to truncate (not modified).
+    target_fill:
+        Desired maximum fill factor in ``(0, 1]``.
+    """
+    if not 0.0 < target_fill <= 1.0:
+        raise MatrixFormatError(
+            f"target_fill must lie in (0, 1], got {target_fill}")
+    csr = ensure_csr(matrix, copy=True)
+    n_rows, n_cols = csr.shape
+    budget_total = int(np.floor(target_fill * n_rows * n_cols))
+    if csr.nnz <= budget_total:
+        return csr
+
+    counts = np.diff(csr.indptr)
+    # Proportional per-row budget; rows keep at least one entry when non-empty.
+    raw = counts.astype(np.float64) * (budget_total / max(csr.nnz, 1))
+    budgets = np.maximum(np.floor(raw).astype(np.int64), (counts > 0).astype(np.int64))
+    budgets = np.minimum(budgets, counts)
+
+    keep_mask = np.zeros(csr.nnz, dtype=bool)
+    data = csr.data
+    indptr = csr.indptr
+    for row in range(n_rows):
+        start, stop = indptr[row], indptr[row + 1]
+        k = int(budgets[row])
+        if k <= 0 or start == stop:
+            continue
+        segment = np.abs(data[start:stop])
+        if k >= segment.size:
+            keep_mask[start:stop] = True
+            continue
+        # Indices of the k largest magnitudes within the row.
+        top = np.argpartition(segment, segment.size - k)[segment.size - k:]
+        keep_mask[start + top] = True
+
+    out = csr.copy()
+    out.data = np.where(keep_mask, out.data, 0.0)
+    out.eliminate_zeros()
+    return out
+
+
+def random_sparse(n: int, density: float, *, seed: int | np.random.Generator | None = None,
+                  symmetric: bool = False, diag_boost: float = 0.0) -> sp.csr_matrix:
+    """Random sparse test matrix with optional symmetry and diagonal boost.
+
+    Primarily a testing / benchmarking utility; the Table-1 matrices come from
+    the structured generators in :mod:`repro.matrices`.
+
+    Parameters
+    ----------
+    n:
+        Dimension.
+    density:
+        Target density of the off-diagonal part, in ``(0, 1]``.
+    symmetric:
+        If true the matrix is symmetrised (``(M + M^T) / 2``).
+    diag_boost:
+        Value added to the diagonal (e.g. to make the matrix diagonally
+        dominant and therefore safe for the Jacobi splitting).
+    """
+    if n <= 0:
+        raise MatrixFormatError(f"n must be positive, got {n}")
+    if not 0.0 < density <= 1.0:
+        raise MatrixFormatError(f"density must lie in (0, 1], got {density}")
+    rng = default_rng(seed)
+    matrix = sp.random(n, n, density=density, format="csr", random_state=rng,
+                       data_rvs=lambda size: rng.standard_normal(size))
+    if symmetric:
+        matrix = ((matrix + matrix.T) * 0.5).tocsr()
+    if diag_boost != 0.0:
+        matrix = (matrix + diag_boost * sp.identity(n, format="csr")).tocsr()
+    return ensure_csr(matrix)

@@ -1,0 +1,165 @@
+"""Norm, spectral-radius and condition-number estimation.
+
+Table 1 of the paper reports ``kappa(A) = ||A||_2 ||A^{-1}||_2`` for every
+matrix of the study.  For the small and medium matrices we compute this exactly
+through dense SVD; for large matrices (the ~21k climate analogue) an estimate
+based on sparse LU + 1-norm estimation keeps the cost manageable while staying
+within a small factor of the true value.  The spectral-radius routine is the
+work-horse used by the MCMC module to decide whether a given ``alpha``
+perturbation makes the Neumann series convergent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.config import default_rng
+from repro.exceptions import MatrixFormatError
+from repro.sparse.csr import ensure_csr, validate_square
+
+__all__ = [
+    "norm_1",
+    "norm_inf",
+    "norm_fro",
+    "norm_2_estimate",
+    "spectral_radius",
+    "condition_number",
+    "condition_number_estimate",
+]
+
+#: Above this dimension :func:`condition_number` switches to the sparse estimate.
+_DENSE_LIMIT = 4096
+
+
+def norm_1(matrix: sp.spmatrix) -> float:
+    """Matrix 1-norm (maximum absolute column sum)."""
+    csr = ensure_csr(matrix)
+    if csr.nnz == 0:
+        return 0.0
+    return float(np.abs(csr).sum(axis=0).max())
+
+
+def norm_inf(matrix: sp.spmatrix) -> float:
+    """Matrix infinity-norm (maximum absolute row sum)."""
+    csr = ensure_csr(matrix)
+    if csr.nnz == 0:
+        return 0.0
+    return float(np.abs(csr).sum(axis=1).max())
+
+
+def norm_fro(matrix: sp.spmatrix) -> float:
+    """Frobenius norm."""
+    csr = ensure_csr(matrix)
+    return float(np.sqrt((csr.data ** 2).sum())) if csr.nnz else 0.0
+
+
+def norm_2_estimate(matrix: sp.spmatrix, *, iterations: int = 50,
+                    seed: int | np.random.Generator | None = 0) -> float:
+    """Estimate the spectral norm ``||A||_2`` by power iteration on ``A^T A``.
+
+    Accurate to a few percent after ~50 iterations for the matrices considered
+    here; exact dense computation is used automatically for tiny matrices.
+    """
+    csr = validate_square(matrix)
+    n = csr.shape[0]
+    if n <= 64:
+        return float(np.linalg.norm(csr.toarray(), 2))
+    rng = default_rng(seed)
+    vec = rng.standard_normal(n)
+    vec /= np.linalg.norm(vec)
+    estimate = 0.0
+    csr_t = csr.T.tocsr()
+    for _ in range(max(iterations, 1)):
+        work = csr @ vec
+        work = csr_t @ work
+        norm = np.linalg.norm(work)
+        if norm == 0.0:
+            return 0.0
+        vec = work / norm
+        estimate = np.sqrt(norm)
+    return float(estimate)
+
+
+def spectral_radius(matrix: sp.spmatrix, *, iterations: int = 200,
+                    tol: float = 1e-10,
+                    seed: int | np.random.Generator | None = 0) -> float:
+    """Estimate the spectral radius ``rho(A)`` of a square matrix.
+
+    Small matrices (``n <= 256``) use dense eigenvalues for an exact answer;
+    larger matrices use power iteration on ``|A|`` -- a conservative upper
+    bound in the sense relevant to the Neumann series, since
+    ``rho(A) <= rho(|A|)`` for the element-wise absolute value and the MCMC
+    walk weights are driven by ``|A|``.
+    """
+    csr = validate_square(matrix)
+    n = csr.shape[0]
+    if n <= 256:
+        eigvals = np.linalg.eigvals(csr.toarray())
+        return float(np.abs(eigvals).max())
+    rng = default_rng(seed)
+    abs_csr = ensure_csr(abs(csr))
+    vec = np.abs(rng.standard_normal(n)) + 1e-12
+    vec /= np.linalg.norm(vec)
+    previous = 0.0
+    for _ in range(max(iterations, 1)):
+        work = abs_csr @ vec
+        norm = float(np.linalg.norm(work))
+        if norm == 0.0:
+            return 0.0
+        vec = work / norm
+        if abs(norm - previous) <= tol * max(norm, 1.0):
+            previous = norm
+            break
+        previous = norm
+    return float(previous)
+
+
+def condition_number(matrix: sp.spmatrix) -> float:
+    """2-norm condition number ``kappa(A)``.
+
+    Exact (dense SVD) for dimensions up to ``_DENSE_LIMIT``; otherwise delegates
+    to :func:`condition_number_estimate`.
+    """
+    csr = validate_square(matrix)
+    n = csr.shape[0]
+    if n <= _DENSE_LIMIT:
+        dense = csr.toarray()
+        singular_values = np.linalg.svd(dense, compute_uv=False)
+        smallest = singular_values[-1]
+        if smallest <= 0.0:
+            return float(np.inf)
+        return float(singular_values[0] / smallest)
+    return condition_number_estimate(csr)
+
+
+def condition_number_estimate(matrix: sp.spmatrix, *,
+                              seed: int | np.random.Generator | None = 0) -> float:
+    """Estimate ``kappa_2(A)`` for large sparse matrices.
+
+    ``||A||_2`` is estimated by power iteration; ``||A^{-1}||_2`` is bounded by
+    ``||A^{-1}||_1`` obtained from a sparse LU factorisation combined with
+    Hager/Higham 1-norm estimation (:func:`scipy.sparse.linalg.onenormest`),
+    which only needs solves with ``A`` and ``A^T``.  The result is within a
+    modest factor (``sqrt(n)`` worst case, far less in practice) of the true
+    2-norm condition number, sufficient for the order-of-magnitude entries of
+    Table 1.
+    """
+    csr = validate_square(matrix).tocsc()
+    try:
+        lu = spla.splu(csr)
+    except RuntimeError as exc:  # singular matrix
+        raise MatrixFormatError(f"matrix appears singular: {exc}") from exc
+
+    n = csr.shape[0]
+
+    inverse_op = spla.LinearOperator(
+        shape=(n, n),
+        matvec=lambda x: lu.solve(np.asarray(x, dtype=np.float64).ravel()),
+        rmatvec=lambda x: lu.solve(np.asarray(x, dtype=np.float64).ravel(), trans="T"),
+        dtype=np.float64,
+    )
+    inv_norm_1 = float(spla.onenormest(inverse_op))
+    norm_a = norm_2_estimate(csr, seed=seed)
+    return float(norm_a * inv_norm_1)

@@ -1,0 +1,39 @@
+"""Statistical utilities used by the evaluation section of the paper.
+
+* Wilson score intervals for binomial proportions (Eq. 6), used to put
+  sampling-uncertainty bands on the calibration curves of Figure 1;
+* calibration curves comparing predicted and observed coverage (Figure 1);
+* empirical confidence intervals and pointwise inclusion of the predicted
+  mean (Figure 2);
+* box-plot summaries of per-candidate sample medians (Figure 3).
+"""
+
+from repro.stats.wilson import wilson_interval
+from repro.stats.calibration import (
+    prediction_interval,
+    empirical_coverage,
+    calibration_curve,
+    CalibrationCurve,
+    DEFAULT_CONFIDENCE_LEVELS,
+)
+from repro.stats.intervals import (
+    normal_confidence_interval,
+    t_confidence_interval,
+    mean_inclusion,
+)
+from repro.stats.summary import boxplot_summary, BoxplotSummary, median_absolute_deviation
+
+__all__ = [
+    "wilson_interval",
+    "prediction_interval",
+    "empirical_coverage",
+    "calibration_curve",
+    "CalibrationCurve",
+    "DEFAULT_CONFIDENCE_LEVELS",
+    "normal_confidence_interval",
+    "t_confidence_interval",
+    "mean_inclusion",
+    "boxplot_summary",
+    "BoxplotSummary",
+    "median_absolute_deviation",
+]

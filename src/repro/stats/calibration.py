@@ -1,0 +1,142 @@
+"""Calibration analysis of the surrogate's uncertainty estimates (Figure 1).
+
+For a set of confidence levels ``tau`` the symmetric prediction interval of
+Eq. 5, ``[mu - z_{(1+tau)/2} sigma, mu + z_{(1+tau)/2} sigma]``, is compared
+against the observations: a perfectly calibrated model has empirical coverage
+``tau`` at every level.  Wilson score intervals quantify the sampling
+uncertainty of the empirical coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import ParameterError
+from repro.stats.wilson import wilson_interval
+
+__all__ = [
+    "DEFAULT_CONFIDENCE_LEVELS",
+    "prediction_interval",
+    "empirical_coverage",
+    "CalibrationCurve",
+    "calibration_curve",
+]
+
+#: Confidence levels used in Figure 1 of the paper.
+DEFAULT_CONFIDENCE_LEVELS: tuple[float, ...] = (0.50, 0.68, 0.80, 0.90, 0.95, 0.99)
+
+
+def prediction_interval(mu: np.ndarray, sigma: np.ndarray, tau: float
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric Gaussian prediction interval at confidence level ``tau`` (Eq. 5)."""
+    if not 0.0 < tau < 1.0:
+        raise ParameterError(f"tau must lie in (0, 1), got {tau}")
+    mu = np.asarray(mu, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    z = float(norm.ppf(0.5 * (1.0 + tau)))
+    return mu - z * sigma, mu + z * sigma
+
+
+def empirical_coverage(observations: np.ndarray, mu: np.ndarray,
+                       sigma: np.ndarray, tau: float) -> float:
+    """Fraction of observations inside the ``tau`` prediction interval."""
+    observations = np.asarray(observations, dtype=np.float64)
+    lower, upper = prediction_interval(mu, sigma, tau)
+    inside = (observations >= lower) & (observations <= upper)
+    return float(np.mean(inside))
+
+
+@dataclass
+class CalibrationCurve:
+    """Calibration curve with Wilson bands.
+
+    Attributes
+    ----------
+    confidence_levels:
+        Expected coverage probabilities (x-axis of Figure 1).
+    observed_coverage:
+        Empirical coverage at each level (y-axis of Figure 1).
+    wilson_lower, wilson_upper:
+        95 % Wilson score band around the empirical coverage.
+    n_observations:
+        Number of observations entering each coverage estimate.
+    label:
+        Model label (``"pre_bo"`` / ``"bo_enhanced"``).
+    """
+
+    confidence_levels: np.ndarray
+    observed_coverage: np.ndarray
+    wilson_lower: np.ndarray
+    wilson_upper: np.ndarray
+    n_observations: int
+    label: str = ""
+
+    def mean_absolute_miscalibration(self) -> float:
+        """Average |observed - expected| coverage (0 for perfect calibration)."""
+        return float(np.mean(np.abs(self.observed_coverage - self.confidence_levels)))
+
+    def is_overconfident(self) -> bool:
+        """True when the curve lies below the diagonal on average (paper's Pre-BO)."""
+        return float(np.mean(self.observed_coverage - self.confidence_levels)) < 0.0
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Row dictionaries (one per confidence level) for reports."""
+        return [
+            {
+                "expected": float(tau),
+                "observed": float(obs),
+                "wilson_lower": float(lo),
+                "wilson_upper": float(hi),
+            }
+            for tau, obs, lo, hi in zip(self.confidence_levels, self.observed_coverage,
+                                        self.wilson_lower, self.wilson_upper)
+        ]
+
+
+def calibration_curve(observations: np.ndarray, mu: np.ndarray, sigma: np.ndarray, *,
+                      confidence_levels=DEFAULT_CONFIDENCE_LEVELS,
+                      wilson_confidence: float = 0.95,
+                      label: str = "") -> CalibrationCurve:
+    """Compute the calibration curve of Figure 1 for one model.
+
+    Parameters
+    ----------
+    observations:
+        Individual observed metric values ``y_j`` (640 in the paper: 64
+        parameter vectors x 10 replicates).
+    mu, sigma:
+        Predicted mean and standard deviation for each observation (identical
+        within replicates of the same parameter vector).
+    """
+    observations = np.asarray(observations, dtype=np.float64).ravel()
+    mu = np.asarray(mu, dtype=np.float64).ravel()
+    sigma = np.asarray(sigma, dtype=np.float64).ravel()
+    if not (observations.size == mu.size == sigma.size):
+        raise ParameterError(
+            f"length mismatch: observations {observations.size}, mu {mu.size}, "
+            f"sigma {sigma.size}")
+    if observations.size == 0:
+        raise ParameterError("calibration requires at least one observation")
+
+    levels = np.asarray(confidence_levels, dtype=np.float64)
+    observed = np.empty_like(levels)
+    lower = np.empty_like(levels)
+    upper = np.empty_like(levels)
+    n = observations.size
+    for index, tau in enumerate(levels):
+        coverage = empirical_coverage(observations, mu, sigma, float(tau))
+        observed[index] = coverage
+        lo, hi = wilson_interval(coverage * n, n, confidence=wilson_confidence)
+        lower[index] = lo
+        upper[index] = hi
+    return CalibrationCurve(
+        confidence_levels=levels,
+        observed_coverage=observed,
+        wilson_lower=lower,
+        wilson_upper=upper,
+        n_observations=n,
+        label=label,
+    )

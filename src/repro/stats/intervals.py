@@ -1,0 +1,70 @@
+"""Empirical confidence intervals and pointwise mean inclusion (Figure 2).
+
+Figure 2 asks a different question than Figure 1: for every parameter vector
+``x_M`` the paper computes the empirical 99 % confidence interval of the
+metric over the replications and checks whether the surrogate's *predicted
+mean* falls inside it.  This module provides the interval constructions
+(normal and Student-t) and the inclusion test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm, t as student_t
+
+from repro.exceptions import ParameterError
+
+__all__ = ["normal_confidence_interval", "t_confidence_interval", "mean_inclusion"]
+
+
+def normal_confidence_interval(values: np.ndarray, *, confidence: float = 0.99
+                               ) -> tuple[float, float]:
+    """Normal-approximation CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ParameterError("cannot build a confidence interval from no data")
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean
+    sem = float(values.std(ddof=1) / np.sqrt(values.size))
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    return mean - z * sem, mean + z * sem
+
+
+def t_confidence_interval(values: np.ndarray, *, confidence: float = 0.99
+                          ) -> tuple[float, float]:
+    """Student-t CI for the mean of ``values`` (better for 10 replications)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ParameterError("cannot build a confidence interval from no data")
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean
+    sem = float(values.std(ddof=1) / np.sqrt(values.size))
+    critical = float(student_t.ppf(0.5 + confidence / 2.0, df=values.size - 1))
+    return mean - critical * sem, mean + critical * sem
+
+
+def mean_inclusion(predicted_mean: float, values: np.ndarray, *,
+                   confidence: float = 0.99, method: str = "t") -> bool:
+    """Whether ``predicted_mean`` lies inside the empirical CI of ``values``.
+
+    This is the pointwise inclusion criterion of Figure 2.  Degenerate cases
+    (zero spread across replications) reduce to an exact-match test with a
+    small relative tolerance.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if method == "t":
+        lower, upper = t_confidence_interval(values, confidence=confidence)
+    elif method == "normal":
+        lower, upper = normal_confidence_interval(values, confidence=confidence)
+    else:
+        raise ParameterError(f"unknown method {method!r}; use 't' or 'normal'")
+    if lower == upper:
+        scale = max(abs(lower), 1e-12)
+        return bool(abs(predicted_mean - lower) <= 1e-6 * scale + 1e-9)
+    return bool(lower <= predicted_mean <= upper)

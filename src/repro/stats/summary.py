@@ -1,0 +1,89 @@
+"""Box-plot summaries (Figure 3).
+
+Figure 3 summarises, for each search strategy, the distribution of per-candidate
+*sample medians* of the metric plus the replication-level distribution of the
+single best candidate.  This module computes the classical five-number summary
+with Tukey whiskers so that the benchmark harness can print the same numbers a
+box plot would display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["BoxplotSummary", "boxplot_summary", "median_absolute_deviation"]
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary with Tukey whiskers and outliers."""
+
+    minimum: float
+    whisker_low: float
+    first_quartile: float
+    median: float
+    third_quartile: float
+    whisker_high: float
+    maximum: float
+    mean: float
+    n: int
+    outliers: tuple[float, ...] = ()
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "min": self.minimum,
+            "whisker_low": self.whisker_low,
+            "q1": self.first_quartile,
+            "median": self.median,
+            "q3": self.third_quartile,
+            "whisker_high": self.whisker_high,
+            "max": self.maximum,
+            "mean": self.mean,
+            "n": float(self.n),
+            "n_outliers": float(len(self.outliers)),
+        }
+
+
+def boxplot_summary(values: np.ndarray) -> BoxplotSummary:
+    """Compute the box-plot statistics of ``values``."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ParameterError("cannot summarise an empty sample")
+    q1, median, q3 = np.percentile(values, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = values[(values >= low_fence) & (values <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else float(values.min())
+    whisker_high = float(inside.max()) if inside.size else float(values.max())
+    # With interpolated quartiles the nearest in-fence datum can fall strictly
+    # inside the box; clamp so the whiskers never cross the quartiles.
+    whisker_low = min(whisker_low, float(q1))
+    whisker_high = max(whisker_high, float(q3))
+    outliers = tuple(float(v) for v in values[(values < low_fence) | (values > high_fence)])
+    return BoxplotSummary(
+        minimum=float(values.min()),
+        whisker_low=whisker_low,
+        first_quartile=float(q1),
+        median=float(median),
+        third_quartile=float(q3),
+        whisker_high=whisker_high,
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+        n=int(values.size),
+        outliers=outliers,
+    )
+
+
+def median_absolute_deviation(values: np.ndarray) -> float:
+    """Median absolute deviation (robust spread measure used in reports)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ParameterError("cannot summarise an empty sample")
+    median = np.median(values)
+    return float(np.median(np.abs(values - median)))

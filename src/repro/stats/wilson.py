@@ -1,0 +1,51 @@
+"""Wilson score interval for a binomial proportion (Eq. 6 of the paper).
+
+Preferred over the normal approximation because it produces well-behaved
+bounds inside ``[0, 1]`` even for small sample sizes or extreme proportions --
+the reason the paper uses it for the calibration-curve bands of Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import ParameterError
+
+__all__ = ["wilson_interval"]
+
+
+def wilson_interval(successes: int | float, n: int, *,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Two-sided Wilson score interval for ``successes`` out of ``n`` trials.
+
+    Parameters
+    ----------
+    successes:
+        Number of successes (may be fractional when derived from weights).
+    n:
+        Number of trials.
+    confidence:
+        Two-sided confidence level (0.95 in the paper, i.e. ``z = z_0.975``).
+
+    Returns
+    -------
+    (lower, upper):
+        Interval bounds, clipped to ``[0, 1]``.
+    """
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must lie in (0, 1), got {confidence}")
+    if successes < 0 or successes > n:
+        raise ParameterError(
+            f"successes must lie in [0, n], got {successes} with n={n}")
+    p_hat = successes / n
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    centre = p_hat + z2 / (2.0 * n)
+    margin = z * np.sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n))
+    lower = (centre - margin) / denominator
+    upper = (centre + margin) / denominator
+    return float(np.clip(lower, 0.0, 1.0)), float(np.clip(upper, 0.0, 1.0))

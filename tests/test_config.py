@@ -1,0 +1,83 @@
+"""Tests for repro.config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    GlobalConfig,
+    KNOWN_PROFILES,
+    PROFILE_ENV_VAR,
+    active_profile,
+    default_rng,
+    spawn_rngs,
+)
+
+
+class TestDefaultRng:
+    def test_none_returns_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = default_rng(42).random(5)
+        b = default_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert default_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_spawned_streams_are_independent(self):
+        streams = spawn_rngs(0, 3)
+        draws = [stream.random(4) for stream in streams]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_is_reproducible(self):
+        first = [g.random(3) for g in spawn_rngs(7, 2)]
+        second = [g.random(3) for g in spawn_rngs(7, 2)]
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a, b)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        streams = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(streams) == 2
+
+
+class TestActiveProfile:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        assert active_profile() == "smoke"
+
+    def test_env_selects_paper(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "paper")
+        assert active_profile() == "paper"
+
+    def test_unknown_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "huge")
+        assert active_profile() == "smoke"
+
+    def test_known_profiles_are_consistent(self):
+        assert set(KNOWN_PROFILES) == {"smoke", "paper"}
+
+
+class TestGlobalConfig:
+    def test_rng_uses_seed(self):
+        config = GlobalConfig(seed=5)
+        np.testing.assert_allclose(config.rng().random(3),
+                                   np.random.default_rng(5).random(3))
+
+    def test_defaults(self):
+        config = GlobalConfig()
+        assert config.profile == "smoke"
+        assert config.float_dtype == np.dtype(np.float64)

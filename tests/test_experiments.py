@@ -1,0 +1,221 @@
+"""Tests for the experiment drivers (Table 1, Figures 1-3, reporting, profiles)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import PerformanceRecord, SolverSettings
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ExperimentProfile,
+    format_figure1,
+    format_figure2,
+    format_figure3,
+    format_table,
+    format_table1,
+    generate_table1,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    save_json,
+    to_jsonable,
+)
+from repro.experiments.pipeline import PipelineResult
+from repro.mcmc.parameters import MCMCParameters
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bbb", 2.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_to_jsonable_handles_numpy(self):
+        payload = {"array": np.arange(3), "scalar": np.float64(1.5),
+                   "nested": [np.int64(2)]}
+        converted = to_jsonable(payload)
+        assert converted["array"] == [0, 1, 2]
+        assert converted["scalar"] == 1.5
+        assert converted["nested"] == [2]
+
+    def test_save_json_round_trip(self, tmp_path):
+        path = save_json({"x": np.float64(2.0)}, tmp_path / "out" / "data.json")
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == {"x": 2.0}
+
+
+class TestProfiles:
+    def test_smoke_and_paper_profiles(self):
+        smoke = ExperimentProfile.smoke()
+        paper = ExperimentProfile.paper()
+        assert smoke.bo_batch_size < paper.bo_batch_size
+        assert paper.bo_batch_size == 32
+        assert paper.n_replications_eval == 10
+        assert len(paper.evaluation_grid()) == 64
+        assert smoke.test_matrix_name == "unsteady_adv_diff_order2_0001"
+
+    def test_from_name_and_environment(self, monkeypatch):
+        assert ExperimentProfile.from_name("smoke").name == "smoke"
+        with pytest.raises(ExperimentError):
+            ExperimentProfile.from_name("gigantic")
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert ExperimentProfile.from_environment().name == "smoke"
+
+    def test_training_grid_solvers(self):
+        paper = ExperimentProfile.paper()
+        grid = paper.training_grid()
+        assert {p.solver for p in grid} == {"gmres", "bicgstab"}
+        assert len(grid) == 2 * 64
+
+
+class TestTable1:
+    def test_rows_for_small_matrices(self):
+        rows = generate_table1(max_exact_dimension=300, max_dimension=512)
+        names = {row.name for row in rows}
+        assert "2DFDLaplace_16" in names
+        assert all(row.dimension <= 512 for row in rows)
+        for row in rows:
+            assert row.phi_measured > 0.0
+            if row.kappa_measured is not None:
+                assert row.kappa_measured > 0.0
+
+    def test_condition_number_regimes_match_paper(self):
+        rows = {row.name: row for row in generate_table1(max_exact_dimension=300,
+                                                         max_dimension=512)}
+        test_row = rows["unsteady_adv_diff_order2_0001"]
+        # Same order of magnitude as the published 6.6e6.
+        assert 1e6 < test_row.kappa_measured < 1e8
+        laplace = rows["2DFDLaplace_16"]
+        assert laplace.kappa_measured == pytest.approx(laplace.kappa_paper, rel=0.5)
+
+    def test_format_table1(self):
+        rows = generate_table1(max_exact_dimension=128, max_dimension=128)
+        text = format_table1(rows)
+        assert "Table 1" in text
+        assert "PDD_RealSparse_N64" in text
+
+
+def _fake_pipeline_result(tiny_dataset, trained_tiny_surrogate) -> PipelineResult:
+    """A synthetic PipelineResult so the figure drivers can be tested quickly."""
+    rng = np.random.default_rng(0)
+    profile = ExperimentProfile.smoke()
+    records = []
+    for alpha in (1.0, 4.0):
+        for eps in (0.5, 0.25):
+            for delta in (0.5, 0.25):
+                params = MCMCParameters(alpha=alpha, eps=eps, delta=delta)
+                base = 1.0 if alpha < 2 else 0.3 + 0.1 * (eps - delta)
+                values = list(np.clip(base + 0.05 * rng.standard_normal(4), 0.05, 2.0))
+                records.append(PerformanceRecord(
+                    parameters=params, matrix_name=profile.test_matrix_name,
+                    baseline_iterations=100,
+                    preconditioned_iterations=[int(100 * v) for v in values],
+                    y_values=values))
+    n = len(records)
+    truth = np.array([record.y_mean for record in records])
+    pre = (truth + 0.3 * rng.standard_normal(n), np.full(n, 0.02))
+    post = (truth + 0.02 * rng.standard_normal(n), np.full(n, 0.1))
+    bo_records = {
+        0.05: records[4:8],
+        1.0: records[:4],
+    }
+    from repro.core.optimize import Candidate
+
+    bo_candidates = {xi: [Candidate(r.parameters, 0.1, r.y_mean, 0.05)
+                          for r in recs] for xi, recs in bo_records.items()}
+    return PipelineResult(
+        profile=profile,
+        training_matrices={},
+        test_matrix=None,
+        dataset=tiny_dataset,
+        pre_bo_model=trained_tiny_surrogate,
+        bo_enhanced_model=trained_tiny_surrogate,
+        bo_candidates=bo_candidates,
+        bo_records=bo_records,
+        reference_records=records,
+        pre_bo_predictions=pre,
+        bo_enhanced_predictions=post,
+    )
+
+
+class TestFigureDrivers:
+    @pytest.fixture()
+    def fake_result(self, tiny_dataset, trained_tiny_surrogate):
+        return _fake_pipeline_result(tiny_dataset, trained_tiny_surrogate)
+
+    def test_figure1_improvement_detected(self, fake_result):
+        figure = run_figure1(result=fake_result)
+        assert set(figure.overall) == {"pre_bo", "bo_enhanced"}
+        assert figure.n_observations == sum(len(r.y_values)
+                                            for r in fake_result.reference_records)
+        # The synthetic BO-enhanced predictions are far better calibrated.
+        assert figure.improvement() > 0.0
+        text = format_figure1(figure)
+        assert "Figure 1" in text and "Pre-BO" in text
+
+    def test_figure2_inclusion_rates(self, fake_result):
+        figure = run_figure2(result=fake_result)
+        assert figure.inclusion_rate("bo_enhanced") >= figure.inclusion_rate("pre_bo")
+        assert set(figure.alphas) == {1.0, 4.0}
+        assert figure.metric_mean[4.0].shape == (len(figure.epss), len(figure.deltas))
+        text = format_figure2(figure)
+        assert "Figure 2" in text and "alpha=4" in text
+
+    def test_figure3_strategies_and_headlines(self, fake_result):
+        figure = run_figure3(result=fake_result)
+        assert {"grid", "bo_balanced", "bo_exploration"} <= set(figure.strategies)
+        assert figure.strategies["grid"].budget == len(fake_result.reference_records)
+        assert 0.0 < figure.budget_fraction() <= 1.0
+        assert figure.best_reduction("grid") > 0.0
+        text = format_figure3(figure)
+        assert "Figure 3" in text and "budget" in text
+
+
+@pytest.mark.slow
+class TestEndToEndPipeline:
+    def test_ultra_tiny_pipeline(self):
+        """Full pipeline on an ultra-small profile (exercises every stage)."""
+        from repro.core.surrogate import SurrogateConfig
+        from repro.core.training import TrainingConfig
+        from repro.experiments.pipeline import run_pipeline
+
+        profile = ExperimentProfile(
+            name="smoke",
+            training_matrix_names=("PDD_RealSparse_N64", "2DFDLaplace_16"),
+            test_matrix_name="unsteady_adv_diff_order2_0001",
+            grid_alphas=(0.05, 4.0),
+            grid_epss=(0.5,),
+            grid_deltas=(0.5, 0.25),
+            solvers=("gmres",),
+            n_replications_train=1,
+            n_replications_eval=2,
+            n_replications_bo=1,
+            bo_batch_size=2,
+            eval_alphas=(0.05, 4.0),
+            eval_epss=(0.5, 0.25),
+            eval_deltas=(0.5,),
+            solver_settings=SolverSettings(rtol=1e-8, maxiter=400),
+            surrogate=SurrogateConfig(graph_hidden=8, xa_hidden=8, xm_hidden=8,
+                                      combined_hidden=8, dropout=0.0, seed=0),
+            training=TrainingConfig(epochs=5, batch_size=8, learning_rate=5e-3,
+                                    patience=5, seed=0),
+            seed=0,
+        )
+        result = run_pipeline(profile)
+        assert len(result.reference_records) == 4
+        assert set(result.bo_records) == {0.05, 1.0}
+        assert all(len(records) == 2 for records in result.bo_records.values())
+        figure3 = run_figure3(result=result)
+        # The reference grid contains alpha = 4 points, so a working MCMC
+        # preconditioner must appear somewhere in the strategies.
+        assert figure3.strategies["grid"].best_median < 1.0
+        figure1 = run_figure1(result=result)
+        assert figure1.n_observations == 8
+        figure2 = run_figure2(result=result)
+        assert set(figure2.alphas) == {0.05, 4.0}

@@ -1,0 +1,189 @@
+"""Tests for the HPO substrate: search spaces, random search, TPE and ASHA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SearchSpaceError
+from repro.hpo import (
+    ASHAScheduler,
+    Choice,
+    IntUniform,
+    LogUniform,
+    SearchSpace,
+    TPESampler,
+    TrialStatus,
+    Uniform,
+    random_search,
+    surrogate_search_space,
+    tpe_search,
+)
+
+
+@pytest.fixture()
+def quadratic_space():
+    return SearchSpace({
+        "x": Uniform(-5.0, 5.0),
+        "y": LogUniform(1e-3, 1e1),
+        "k": IntUniform(1, 4),
+        "mode": Choice(["a", "b"]),
+    })
+
+
+def quadratic_objective(config):
+    penalty = 0.0 if config["mode"] == "a" else 1.0
+    return (config["x"] - 1.0) ** 2 + np.log10(config["y"]) ** 2 \
+        + 0.1 * config["k"] + penalty
+
+
+class TestSearchSpace:
+    def test_sampling_respects_bounds(self, quadratic_space):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            config = quadratic_space.sample(rng)
+            assert -5.0 <= config["x"] <= 5.0
+            assert 1e-3 <= config["y"] <= 1e1
+            assert config["k"] in (1, 2, 3, 4)
+            assert config["mode"] in ("a", "b")
+
+    def test_sample_many(self, quadratic_space):
+        assert len(quadratic_space.sample_many(7, 1)) == 7
+
+    def test_categorical_and_log_flags(self, quadratic_space):
+        assert quadratic_space.is_categorical("mode")
+        assert not quadratic_space.is_categorical("x")
+        assert quadratic_space.is_log_scaled("y")
+        assert not quadratic_space.is_log_scaled("x")
+
+    def test_bounds_queries(self, quadratic_space):
+        assert quadratic_space.bounds("x") == (-5.0, 5.0)
+        with pytest.raises(SearchSpaceError):
+            quadratic_space.bounds("mode")
+        with pytest.raises(SearchSpaceError):
+            quadratic_space.bounds("unknown")
+
+    def test_invalid_distributions(self):
+        with pytest.raises(SearchSpaceError):
+            Uniform(1.0, 0.0)
+        with pytest.raises(SearchSpaceError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(SearchSpaceError):
+            IntUniform(5, 2)
+        with pytest.raises(SearchSpaceError):
+            Choice([])
+        with pytest.raises(SearchSpaceError):
+            SearchSpace({})
+
+
+class TestRandomSearch:
+    def test_finds_reasonable_minimum(self, quadratic_space):
+        best_config, best_value, history = random_search(
+            quadratic_objective, quadratic_space, n_trials=60, seed=0)
+        assert len(history) == 60
+        assert best_value == min(value for _, value in history)
+        assert best_value < 3.0
+
+    def test_invalid_trials(self, quadratic_space):
+        with pytest.raises(SearchSpaceError):
+            random_search(quadratic_objective, quadratic_space, n_trials=0)
+
+
+class TestTPE:
+    def test_beats_or_matches_random_on_average(self, quadratic_space):
+        _, tpe_value, _ = tpe_search(quadratic_objective, quadratic_space,
+                                     n_trials=40, seed=0)
+        _, random_value, _ = random_search(quadratic_objective, quadratic_space,
+                                           n_trials=40, seed=0)
+        assert tpe_value <= random_value * 1.5  # TPE should not be dramatically worse
+
+    def test_sampler_bookkeeping(self, quadratic_space):
+        sampler = TPESampler(quadratic_space, seed=0, n_startup_trials=2)
+        for _ in range(6):
+            config = sampler.suggest()
+            sampler.observe(config, quadratic_objective(config))
+        assert sampler.n_observations == 6
+        best_config, best_value = sampler.best()
+        assert quadratic_objective(best_config) == pytest.approx(best_value)
+
+    def test_suggestions_respect_bounds_after_startup(self, quadratic_space):
+        sampler = TPESampler(quadratic_space, seed=1, n_startup_trials=3)
+        for _ in range(15):
+            config = sampler.suggest()
+            sampler.observe(config, quadratic_objective(config))
+            assert -5.0 <= config["x"] <= 5.0
+            assert 1e-3 <= config["y"] <= 1e1
+            assert isinstance(config["k"], int)
+
+    def test_best_without_observations(self, quadratic_space):
+        with pytest.raises(SearchSpaceError):
+            TPESampler(quadratic_space).best()
+
+    def test_invalid_parameters(self, quadratic_space):
+        with pytest.raises(SearchSpaceError):
+            TPESampler(quadratic_space, gamma=0.0)
+        with pytest.raises(SearchSpaceError):
+            TPESampler(quadratic_space, n_startup_trials=0)
+
+
+class TestASHA:
+    def test_rung_structure(self):
+        scheduler = ASHAScheduler(max_resource=150, grace_period=20, reduction_factor=3)
+        assert scheduler.rungs == [20, 60, 150]
+
+    def test_bad_trial_is_stopped(self):
+        scheduler = ASHAScheduler(max_resource=27, grace_period=3, reduction_factor=3)
+        # Three good trials establish the rung statistics.
+        for value in (0.1, 0.2, 0.3):
+            trial = scheduler.add_trial({"value": value})
+            scheduler.report(trial.trial_id, 3, value)
+        bad = scheduler.add_trial({"value": 9.0})
+        status = scheduler.report(bad.trial_id, 3, 9.0)
+        assert status is TrialStatus.STOPPED
+
+    def test_good_trial_completes(self):
+        scheduler = ASHAScheduler(max_resource=9, grace_period=3, reduction_factor=3)
+        trial = scheduler.add_trial({})
+        assert scheduler.report(trial.trial_id, 3, 0.5) is TrialStatus.RUNNING
+        assert scheduler.report(trial.trial_id, 9, 0.4) is TrialStatus.COMPLETED
+
+    def test_best_trial(self):
+        scheduler = ASHAScheduler(max_resource=9, grace_period=3)
+        a = scheduler.add_trial({"name": "a"})
+        b = scheduler.add_trial({"name": "b"})
+        scheduler.report(a.trial_id, 9, 0.5)
+        scheduler.report(b.trial_id, 9, 0.2)
+        assert scheduler.best_trial().config["name"] == "b"
+
+    def test_unknown_trial(self):
+        scheduler = ASHAScheduler()
+        with pytest.raises(SearchSpaceError):
+            scheduler.report(99, 10, 0.1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(SearchSpaceError):
+            ASHAScheduler(grace_period=0)
+        with pytest.raises(SearchSpaceError):
+            ASHAScheduler(max_resource=10, grace_period=20)
+        with pytest.raises(SearchSpaceError):
+            ASHAScheduler(reduction_factor=1)
+
+    def test_best_trial_without_results(self):
+        scheduler = ASHAScheduler()
+        scheduler.add_trial({})
+        with pytest.raises(SearchSpaceError):
+            scheduler.best_trial()
+
+
+class TestSurrogateSearchSpace:
+    def test_reduced_and_full_spaces_share_dimensions(self):
+        reduced = surrogate_search_space()
+        full = surrogate_search_space(full=True)
+        assert set(reduced.names()) == set(full.names())
+        assert "conv_type" in reduced.names()
+        assert "learning_rate" in reduced.names()
+
+    def test_full_space_covers_paper_ranges(self):
+        full = surrogate_search_space(full=True)
+        assert 512 in full.dimensions["graph_hidden"].options
+        assert full.bounds("learning_rate") == (1e-4, 1e-1)

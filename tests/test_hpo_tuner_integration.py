@@ -1,0 +1,50 @@
+"""Integration test of the surrogate HPO driver (TPE + ASHA) on the tiny dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.surrogate import GraphNeuralSurrogate
+from repro.exceptions import SearchSpaceError
+from repro.hpo import Choice, IntUniform, LogUniform, SearchSpace, SurrogateHPO, Uniform
+
+
+@pytest.fixture()
+def micro_space():
+    """A very small search space so each trial trains in well under a second."""
+    return SearchSpace({
+        "conv_type": Choice(["edge", "gcn"]),
+        "aggregation": Choice(["mean"]),
+        "graph_hidden": Choice([4, 8]),
+        "graph_layers": IntUniform(1, 1),
+        "xa_hidden": Choice([4]),
+        "xa_layers": IntUniform(1, 1),
+        "xm_hidden": Choice([4]),
+        "xm_layers": IntUniform(1, 2),
+        "combined_hidden": Choice([8]),
+        "combined_layers": IntUniform(1, 1),
+        "learning_rate": LogUniform(1e-3, 1e-2),
+        "weight_decay": LogUniform(1e-6, 1e-4),
+        "dropout": Uniform(0.0, 0.1),
+    })
+
+
+class TestSurrogateHPO:
+    def test_run_returns_trainable_configuration(self, tiny_dataset, micro_space):
+        hpo = SurrogateHPO(tiny_dataset, space=micro_space, max_epochs=4,
+                           grace_period=2, epochs_per_report=2, seed=0)
+        result = hpo.run(n_trials=3)
+        assert len(result.history) == 3
+        assert result.best_value == min(value for _, value in result.history)
+        config = result.as_surrogate_config(tiny_dataset, seed=0)
+        # The winning configuration must actually instantiate.
+        model = GraphNeuralSurrogate(config)
+        assert model.num_parameters() > 0
+
+    def test_invalid_arguments(self, tiny_dataset, micro_space):
+        with pytest.raises(SearchSpaceError):
+            SurrogateHPO(tiny_dataset, space=micro_space, epochs_per_report=0)
+        hpo = SurrogateHPO(tiny_dataset, space=micro_space, max_epochs=2,
+                           grace_period=1)
+        with pytest.raises(SearchSpaceError):
+            hpo.run(n_trials=0)

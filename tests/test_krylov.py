@@ -1,0 +1,184 @@
+"""Tests for the Krylov solvers (GMRES, BiCGStab, CG) and the dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError, ParameterError
+from repro.krylov import KNOWN_SOLVERS, bicgstab, cg, gmres, iteration_count, solve
+from repro.matrices import laplacian_2d
+from repro.precond import JacobiPreconditioner, NeumannPreconditioner
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    matrix = laplacian_2d(10)
+    rng = np.random.default_rng(0)
+    solution = rng.standard_normal(matrix.shape[0])
+    return matrix, matrix @ solution, solution
+
+
+@pytest.fixture(scope="module")
+def nonsym_system():
+    from repro.matrices import pdd_real_sparse
+
+    matrix = pdd_real_sparse(60, density=0.15, dominance=2.0, seed=4)
+    rng = np.random.default_rng(1)
+    solution = rng.standard_normal(matrix.shape[0])
+    return matrix, matrix @ solution, solution
+
+
+class TestGMRES:
+    def test_solves_spd_system(self, spd_system):
+        matrix, rhs, solution = spd_system
+        result = gmres(matrix, rhs, rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-6)
+
+    def test_solves_nonsymmetric_system(self, nonsym_system):
+        matrix, rhs, solution = nonsym_system
+        result = gmres(matrix, rhs, rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-6)
+
+    def test_restart_still_converges(self, spd_system):
+        matrix, rhs, solution = spd_system
+        result = gmres(matrix, rhs, restart=10, rtol=1e-8, maxiter=2000)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-4)
+
+    def test_zero_rhs(self, spd_system):
+        matrix, _, _ = spd_system
+        result = gmres(matrix, np.zeros(matrix.shape[0]))
+        assert result.converged and result.iterations == 0
+        np.testing.assert_allclose(result.solution, 0.0)
+
+    def test_initial_guess_exact(self, spd_system):
+        matrix, rhs, solution = spd_system
+        result = gmres(matrix, rhs, x0=solution)
+        assert result.converged and result.iterations == 0
+
+    def test_maxiter_respected(self, spd_system):
+        matrix, rhs, _ = spd_system
+        result = gmres(matrix, rhs, maxiter=3, rtol=1e-14)
+        assert result.iterations <= 3
+        assert not result.converged
+
+    def test_residual_history_monotone_head(self, spd_system):
+        matrix, rhs, _ = spd_system
+        result = gmres(matrix, rhs, rtol=1e-10)
+        history = np.array(result.residual_norms)
+        # Within a restart cycle the GMRES residual is non-increasing.
+        assert np.all(np.diff(history[: min(20, history.size)]) <= 1e-9)
+
+    def test_preconditioning_reduces_iterations(self, spd_system):
+        matrix, rhs, _ = spd_system
+        plain = gmres(matrix, rhs, rtol=1e-8)
+        preconditioner = NeumannPreconditioner(matrix, terms=8, alpha=0.0)
+        preconditioned = gmres(matrix, rhs, preconditioner=preconditioner, rtol=1e-8)
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+
+class TestBiCGStab:
+    def test_solves_nonsymmetric_system(self, nonsym_system):
+        matrix, rhs, solution = nonsym_system
+        result = bicgstab(matrix, rhs, rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-5)
+
+    def test_preconditioned_converges_faster_or_equal(self, spd_system):
+        matrix, rhs, _ = spd_system
+        plain = bicgstab(matrix, rhs, rtol=1e-8)
+        preconditioned = bicgstab(matrix, rhs, rtol=1e-8,
+                                  preconditioner=NeumannPreconditioner(matrix, terms=8))
+        assert preconditioned.converged
+        assert preconditioned.iterations <= plain.iterations
+
+    def test_zero_rhs(self, nonsym_system):
+        matrix, _, _ = nonsym_system
+        result = bicgstab(matrix, np.zeros(matrix.shape[0]))
+        assert result.converged and result.iterations == 0
+
+    def test_describe(self, nonsym_system):
+        matrix, rhs, _ = nonsym_system
+        assert "bicgstab" in bicgstab(matrix, rhs).describe()
+
+
+class TestCG:
+    def test_solves_spd_system(self, spd_system):
+        matrix, rhs, solution = spd_system
+        result = cg(matrix, rhs, rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-6)
+
+    def test_jacobi_preconditioning(self, spd_system):
+        matrix, rhs, solution = spd_system
+        result = cg(matrix, rhs, preconditioner=JacobiPreconditioner(matrix),
+                    rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-6)
+
+    def test_iteration_count_bounded_by_dimension(self, spd_system):
+        matrix, rhs, _ = spd_system
+        result = cg(matrix, rhs, rtol=1e-10)
+        assert result.iterations <= matrix.shape[0]
+
+
+class TestDispatcher:
+    def test_known_solvers(self):
+        assert set(KNOWN_SOLVERS) == {"gmres", "bicgstab", "cg"}
+
+    @pytest.mark.parametrize("solver", ["gmres", "bicgstab", "cg"])
+    def test_solve_dispatch(self, spd_system, solver):
+        matrix, rhs, solution = spd_system
+        result = solve(matrix, rhs, solver=solver, rtol=1e-10)
+        assert result.solver == solver
+        np.testing.assert_allclose(result.solution, solution, atol=1e-5)
+
+    def test_solve_unknown_solver(self, spd_system):
+        matrix, rhs, _ = spd_system
+        with pytest.raises(ParameterError):
+            solve(matrix, rhs, solver="minres")
+
+    def test_iteration_count_matches_solve(self, spd_system):
+        matrix, rhs, _ = spd_system
+        count = iteration_count(matrix, rhs, solver="gmres", rtol=1e-8)
+        assert count == solve(matrix, rhs, solver="gmres", rtol=1e-8).iterations
+
+    def test_iteration_count_saturates_at_maxiter(self, spd_system):
+        matrix, rhs, _ = spd_system
+        assert iteration_count(matrix, rhs, solver="gmres", rtol=1e-14,
+                               maxiter=2) == 2
+
+    def test_input_validation(self, spd_system):
+        matrix, rhs, _ = spd_system
+        with pytest.raises(MatrixFormatError):
+            solve(matrix, rhs[:-1], solver="gmres")
+        with pytest.raises(MatrixFormatError):
+            solve(matrix, rhs, solver="gmres", x0=np.ones(3))
+        with pytest.raises(ParameterError):
+            solve(matrix, rhs, solver="gmres", rtol=2.0)
+        with pytest.raises(ParameterError):
+            solve(matrix, rhs, solver="gmres", maxiter=0)
+
+    def test_matrix_preconditioner_passed_as_sparse(self, spd_system):
+        matrix, rhs, solution = spd_system
+        inverse_diag = sp.diags(1.0 / matrix.diagonal())
+        result = solve(matrix, rhs, solver="gmres", preconditioner=inverse_diag,
+                       rtol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, solution, atol=1e-6)
+
+    def test_callable_preconditioner(self, spd_system):
+        matrix, rhs, _ = spd_system
+        result = solve(matrix, rhs, solver="gmres",
+                       preconditioner=lambda r: r / matrix.diagonal())
+        assert result.converged
+
+    def test_wrong_preconditioner_shape(self, spd_system):
+        matrix, rhs, _ = spd_system
+        with pytest.raises(MatrixFormatError):
+            solve(matrix, rhs, solver="gmres", preconditioner=np.eye(3))

@@ -1,0 +1,161 @@
+"""Tests for the matrix generators (repro.matrices.*)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MatrixFormatError
+from repro.matrices import (
+    advection_diffusion,
+    climate_operator,
+    laplacian_2d,
+    laplacian_2d_condition_number,
+    pdd_real_sparse,
+    plasma_operator,
+    unsteady_advection_diffusion,
+)
+from repro.sparse import condition_number, fill_factor, is_symmetric, jacobi_splitting
+
+
+class TestLaplacian:
+    def test_dimension(self):
+        assert laplacian_2d(16).shape == (225, 225)
+        assert laplacian_2d(8).shape == (49, 49)
+
+    def test_symmetric_positive_definite(self):
+        matrix = laplacian_2d(8)
+        assert is_symmetric(matrix)
+        eigenvalues = np.linalg.eigvalsh(matrix.toarray())
+        assert eigenvalues.min() > 0
+
+    def test_analytic_condition_number_matches_measured(self):
+        for resolution in (8, 16):
+            measured = condition_number(laplacian_2d(resolution))
+            analytic = laplacian_2d_condition_number(resolution)
+            assert measured == pytest.approx(analytic, rel=1e-8)
+
+    def test_condition_scales_like_h_minus_two(self):
+        ratio = (laplacian_2d_condition_number(32)
+                 / laplacian_2d_condition_number(16))
+        assert 3.0 < ratio < 5.0  # O(h^-2): doubling the resolution ~quadruples kappa
+
+    def test_scaled_variant(self):
+        unscaled = laplacian_2d(8)
+        scaled = laplacian_2d(8, scaled=True)
+        np.testing.assert_allclose(scaled.toarray(), 64.0 * unscaled.toarray())
+
+    def test_invalid_resolution(self):
+        with pytest.raises(MatrixFormatError):
+            laplacian_2d(1)
+
+
+class TestAdvectionDiffusion:
+    def test_steady_operator_is_nonsymmetric(self):
+        matrix = advection_diffusion(8, diffusion=1e-3, velocity=1.0)
+        assert not is_symmetric(matrix)
+
+    def test_unsteady_dimension_and_determinism(self):
+        a = unsteady_advection_diffusion(15, order=2, seed=0)
+        b = unsteady_advection_diffusion(15, order=2, seed=0)
+        assert a.shape == (225, 225)
+        assert (a != b).nnz == 0
+
+    def test_order2_harder_than_order1(self):
+        kappa1 = condition_number(unsteady_advection_diffusion(10, order=1))
+        kappa2 = condition_number(unsteady_advection_diffusion(10, order=2))
+        assert kappa2 > kappa1
+
+    def test_paper_scale_condition_number_regime(self):
+        kappa = condition_number(unsteady_advection_diffusion(15, order=2))
+        assert 5e5 < kappa < 5e7  # the paper reports 6.6e6
+
+    def test_fill_factor_regime(self):
+        phi = fill_factor(unsteady_advection_diffusion(15, order=1))
+        assert 0.4 < phi < 0.85  # the paper reports 0.646
+
+    def test_alpha_regime_transition(self):
+        """alpha in the paper's [1, 5] range must cross the contraction boundary."""
+        matrix = unsteady_advection_diffusion(15, order=2)
+        assert jacobi_splitting(matrix, 0.0).norm_inf_b > 1.0
+        assert jacobi_splitting(matrix, 5.0).norm_inf_b < 1.0
+
+    def test_invalid_order(self):
+        with pytest.raises(MatrixFormatError):
+            unsteady_advection_diffusion(10, order=3)
+
+    def test_invalid_diffusion(self):
+        with pytest.raises(MatrixFormatError):
+            advection_diffusion(8, diffusion=0.0)
+
+
+class TestPlasmaOperator:
+    def test_dimension_and_nonsymmetry(self):
+        matrix = plasma_operator(128)
+        assert matrix.shape == (128, 128)
+        assert not is_symmetric(matrix)
+
+    def test_condition_number_regime_small(self):
+        kappa = condition_number(plasma_operator(512))
+        assert 3e2 < kappa < 5e4  # the paper reports 1.9e3
+
+    def test_condition_grows_with_dimension(self):
+        small = condition_number(plasma_operator(128))
+        large = condition_number(plasma_operator(512))
+        assert large > small
+
+    def test_fill_factor_small_matrix(self):
+        phi = fill_factor(plasma_operator(512))
+        assert 0.02 < phi < 0.1  # the paper reports 0.059
+
+    def test_determinism(self):
+        assert (plasma_operator(64, seed=5) != plasma_operator(64, seed=5)).nnz == 0
+
+    def test_invalid_dimension(self):
+        with pytest.raises(MatrixFormatError):
+            plasma_operator(4)
+
+
+class TestClimateOperator:
+    def test_default_dimension_matches_paper(self):
+        # Only check the arithmetic, not the (large) construction.
+        assert 35 * 23 * 26 == 20930
+
+    def test_small_instance_structure(self):
+        matrix = climate_operator(6, 5, 4)
+        assert matrix.shape == (120, 120)
+        assert not is_symmetric(matrix)
+        assert fill_factor(matrix) < 0.1
+
+    def test_determinism(self):
+        a = climate_operator(4, 4, 3, seed=1)
+        b = climate_operator(4, 4, 3, seed=1)
+        assert (a != b).nnz == 0
+
+    def test_invalid_grid(self):
+        with pytest.raises(MatrixFormatError):
+            climate_operator(1, 5, 5)
+
+
+class TestPDDRealSparse:
+    def test_dimension_and_low_condition(self):
+        matrix = pdd_real_sparse(64)
+        assert matrix.shape == (64, 64)
+        assert condition_number(matrix) < 100.0
+
+    def test_density_close_to_target(self):
+        matrix = pdd_real_sparse(128, density=0.1)
+        assert 0.05 < fill_factor(matrix) < 0.2
+
+    def test_stronger_dominance_lowers_condition(self):
+        weak = condition_number(pdd_real_sparse(64, dominance=1.2, seed=0))
+        strong = condition_number(pdd_real_sparse(64, dominance=5.0, seed=0))
+        assert strong < weak
+
+    def test_invalid_arguments(self):
+        with pytest.raises(MatrixFormatError):
+            pdd_real_sparse(1)
+        with pytest.raises(MatrixFormatError):
+            pdd_real_sparse(10, density=0.0)
+        with pytest.raises(MatrixFormatError):
+            pdd_real_sparse(10, dominance=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the matrix registry and the cheap feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MatrixFormatError
+from repro.matrices import (
+    MATRIX_REGISTRY,
+    feature_names,
+    feature_vector,
+    get_matrix,
+    get_spec,
+    laplacian_2d,
+    list_matrix_names,
+    matrix_features,
+    table1_specs,
+    training_specs,
+)
+from repro.matrices import test_specs as registry_test_specs
+
+
+class TestRegistry:
+    def test_twelve_entries_like_table1(self):
+        assert len(MATRIX_REGISTRY) == 12
+
+    def test_exactly_one_test_matrix(self):
+        specs = registry_test_specs()
+        assert len(specs) == 1
+        assert specs[0].name == "unsteady_adv_diff_order2_0001"
+
+    def test_training_specs_exclude_test_matrix(self):
+        names = {spec.name for spec in training_specs()}
+        assert "unsteady_adv_diff_order2_0001" not in names
+
+    def test_training_specs_dimension_filter(self):
+        small = training_specs(max_dimension=300)
+        assert all(spec.dimension <= 300 for spec in small)
+        assert small  # the filter never empties the pool at this threshold
+
+    def test_get_spec_unknown_name(self):
+        with pytest.raises(MatrixFormatError):
+            get_spec("no_such_matrix")
+
+    def test_list_matrix_names_order(self):
+        assert list_matrix_names()[0] == "2DFDLaplace_16"
+
+    @pytest.mark.parametrize("name", [
+        "2DFDLaplace_16", "PDD_RealSparse_N64", "PDD_RealSparse_N128",
+        "PDD_RealSparse_N256", "a00512", "unsteady_adv_diff_order1_0001",
+        "unsteady_adv_diff_order2_0001",
+    ])
+    def test_small_generators_match_registry_metadata(self, name):
+        spec = get_spec(name)
+        matrix = get_matrix(name)
+        assert matrix.shape == (spec.dimension, spec.dimension)
+
+    def test_table1_specs_cover_registry(self):
+        assert len(table1_specs()) == len(MATRIX_REGISTRY)
+
+    def test_symmetry_flags_consistent(self):
+        from repro.sparse import is_symmetric
+
+        for spec in table1_specs():
+            if spec.dimension <= 512:
+                assert is_symmetric(spec.build()) == spec.symmetric, spec.name
+
+
+class TestFeatures:
+    def test_feature_vector_order_and_length(self, small_spd):
+        vector = feature_vector(small_spd)
+        names = feature_names()
+        assert vector.shape == (len(names),)
+        mapping = matrix_features(small_spd)
+        np.testing.assert_allclose(vector, [mapping[name] for name in names])
+
+    def test_features_are_finite(self, small_nonsym):
+        assert np.all(np.isfinite(feature_vector(small_nonsym)))
+
+    def test_symmetricity_feature(self, small_spd, small_nonsym):
+        assert matrix_features(small_spd)["symmetricity"] == pytest.approx(1.0)
+        assert matrix_features(small_nonsym)["symmetricity"] < 1.0
+
+    def test_log_dimension_feature(self):
+        features = matrix_features(laplacian_2d(11))
+        assert features["log_dimension"] == pytest.approx(np.log10(100))
+
+    def test_degree_features(self, small_spd):
+        features = matrix_features(small_spd)
+        assert features["max_degree"] == 5.0  # interior 5-point stencil rows
+        assert 0.0 < features["mean_degree"] <= 5.0
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(MatrixFormatError):
+            matrix_features(np.ones((2, 3)))

@@ -1,0 +1,123 @@
+"""Tests for MCMC inverse estimation and the preconditioner object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.matrices import laplacian_2d
+from repro.mcmc import (
+    MCMCParameters,
+    MCMCPreconditioner,
+    estimate_inverse,
+    inversion_error,
+    preconditioned_condition_estimate,
+    chain_length_profile,
+)
+from repro.parallel import HybridExecutor, SerialExecutor, ThreadExecutor
+from repro.sparse import condition_number, fill_factor, perturb_diagonal
+
+
+class TestEstimateInverse:
+    def test_approximates_perturbed_inverse(self, small_spd):
+        params = MCMCParameters(alpha=2.0, eps=0.125, delta=0.0625)
+        approx = estimate_inverse(small_spd, params, seed=0, fill_multiple=0.0,
+                                  drop_tolerance=0.0)
+        error = inversion_error(small_spd, approx, alpha=2.0)
+        assert error < 0.25
+
+    def test_report_contents(self, small_spd):
+        params = MCMCParameters(alpha=1.0, eps=0.25, delta=0.25)
+        approx, report = estimate_inverse(small_spd, params, seed=0,
+                                          return_report=True)
+        assert report.dimension == small_spd.shape[0]
+        assert report.chains_per_row == params.num_chains()
+        assert report.contraction
+        assert report.nnz_after_truncation == approx.nnz
+        assert "chains/row" in report.describe()
+
+    def test_fill_factor_constraint(self, small_spd):
+        params = MCMCParameters(alpha=1.0, eps=0.25, delta=0.25)
+        approx = estimate_inverse(small_spd, params, seed=0, fill_multiple=2.0)
+        assert fill_factor(approx) <= 2.05 * fill_factor(small_spd)
+
+    def test_seed_reproducibility(self, small_spd):
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        a = estimate_inverse(small_spd, params, seed=7)
+        b = estimate_inverse(small_spd, params, seed=7)
+        assert (a != b).nnz == 0
+
+    def test_different_seeds_differ(self, small_spd):
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        a = estimate_inverse(small_spd, params, seed=1)
+        b = estimate_inverse(small_spd, params, seed=2)
+        assert (a != b).nnz > 0
+
+    @pytest.mark.parametrize("executor", [SerialExecutor(), ThreadExecutor(2),
+                                          HybridExecutor(2, 2)])
+    def test_executor_independence(self, small_spd, executor):
+        """The result must not depend on how the row blocks are executed."""
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.25)
+        serial = estimate_inverse(small_spd, params, seed=3, n_tasks=4)
+        parallel = estimate_inverse(small_spd, params, seed=3, n_tasks=4,
+                                    executor=executor)
+        assert (serial != parallel).nnz == 0
+
+    def test_divergent_alpha_still_returns_finite_matrix(self, small_nonsym):
+        params = MCMCParameters(alpha=0.05, eps=0.5, delta=0.5)
+        approx = estimate_inverse(small_nonsym, params, seed=0)
+        assert np.all(np.isfinite(approx.data))
+
+    def test_invalid_fill_multiple(self, small_spd):
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        with pytest.raises(ParameterError):
+            estimate_inverse(small_spd, params, fill_multiple=-1.0)
+
+
+class TestMCMCPreconditioner:
+    def test_interface(self, small_spd, default_parameters):
+        preconditioner = MCMCPreconditioner(small_spd, default_parameters, seed=0)
+        vector = np.ones(small_spd.shape[0])
+        assert preconditioner.apply(vector).shape == vector.shape
+        assert preconditioner.shape == small_spd.shape
+        assert preconditioner.nnz > 0
+        assert preconditioner.parameters == default_parameters
+        assert "MCMCPreconditioner" in preconditioner.describe()
+
+    def test_improves_conditioning(self):
+        matrix = laplacian_2d(10)
+        params = MCMCParameters(alpha=0.5, eps=0.125, delta=0.0625)
+        preconditioner = MCMCPreconditioner(matrix, params, seed=0)
+        kappa_before = condition_number(matrix)
+        kappa_after = preconditioned_condition_estimate(matrix, preconditioner.matrix)
+        assert kappa_after < kappa_before
+
+    def test_report_attached(self, small_spd, default_parameters):
+        preconditioner = MCMCPreconditioner(small_spd, default_parameters, seed=0)
+        assert preconditioner.report.parameters == default_parameters
+
+
+class TestDiagnostics:
+    def test_inversion_error_identity(self):
+        identity = np.eye(6)
+        assert inversion_error(identity, identity) == pytest.approx(0.0, abs=1e-12)
+
+    def test_inversion_error_shape_mismatch(self, small_spd):
+        with pytest.raises(ParameterError):
+            inversion_error(small_spd, np.eye(3))
+
+    def test_inversion_error_inf_norm(self, small_spd):
+        params = MCMCParameters(alpha=2.0, eps=0.25, delta=0.125)
+        approx = estimate_inverse(small_spd, params, seed=0)
+        assert inversion_error(small_spd, approx, alpha=2.0, ord="inf") > 0.0
+        with pytest.raises(ParameterError):
+            inversion_error(small_spd, approx, alpha=2.0, ord="two")
+
+    def test_chain_length_profile_keys(self, small_spd, default_parameters):
+        profile = chain_length_profile(small_spd, default_parameters, sample_rows=10)
+        expected = {"chains_per_row", "max_walk_length", "norm_inf_b", "mean_length",
+                    "observed_max_length", "fraction_truncated_by_weight",
+                    "fraction_truncated_by_length", "fraction_absorbed"}
+        assert expected <= set(profile)
+        assert profile["chains_per_row"] == default_parameters.num_chains()

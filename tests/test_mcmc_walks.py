@@ -1,0 +1,155 @@
+"""Tests for the random-walk engine (repro.mcmc.walks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ParameterError
+from repro.mcmc.walks import TransitionTable, WalkEngine, WalkStatistics
+from repro.sparse.splitting import jacobi_splitting
+
+
+def _engine_for(matrix, alpha, *, weight_cutoff=1e-3, max_steps=50):
+    split = jacobi_splitting(matrix, alpha)
+    table = TransitionTable(split.iteration_matrix)
+    return split, table, WalkEngine(table, weight_cutoff=weight_cutoff,
+                                    max_steps=max_steps)
+
+
+class TestTransitionTable:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ParameterError):
+            TransitionTable(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_absorbing_rows(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        table = TransitionTable(matrix)
+        assert table.is_absorbing(np.array([0]))[0]
+        assert not table.is_absorbing(np.array([1]))[0]
+
+    def test_step_respects_sparsity_pattern(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 2.0, 0.0],
+                                         [0.0, 0.0, -1.0],
+                                         [0.5, 0.0, 0.0]]))
+        table = TransitionTable(matrix)
+        rng = np.random.default_rng(0)
+        states = np.array([0, 1, 2])
+        next_states, multipliers = table.step(states, rng)
+        np.testing.assert_array_equal(next_states, [1, 2, 0])
+        np.testing.assert_allclose(multipliers, [2.0, -1.0, 0.5])
+
+    def test_step_empty_input(self):
+        table = TransitionTable(sp.identity(3, format="csr") * 0.5)
+        next_states, multipliers = table.step(np.empty(0, dtype=np.int64),
+                                              np.random.default_rng(0))
+        assert next_states.size == 0 and multipliers.size == 0
+
+    def test_transition_probabilities_proportional_to_magnitude(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 3.0, 1.0]] + [[0.0] * 3] * 2))
+        table = TransitionTable(matrix)
+        rng = np.random.default_rng(1)
+        states = np.zeros(4000, dtype=np.int64)
+        next_states, _ = table.step(states, rng)
+        fraction_to_col1 = np.mean(next_states == 1)
+        assert fraction_to_col1 == pytest.approx(0.75, abs=0.03)
+
+    def test_row_abs_sums(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 2.0], [-3.0, 0.0]]))
+        np.testing.assert_allclose(TransitionTable(matrix).row_abs_sums, [2.0, 3.0])
+
+
+class TestWalkStatistics:
+    def test_merge(self):
+        a = WalkStatistics(2, 10, 5.0, 7, 1, 0, 1)
+        b = WalkStatistics(3, 5, 5.0 / 3, 3, 0, 2, 0)
+        merged = a.merge(b)
+        assert merged.n_walks == 5
+        assert merged.total_steps == 15
+        assert merged.mean_length == pytest.approx(3.0)
+        assert merged.max_length == 7
+        assert merged.truncated_by_weight == 1
+        assert merged.truncated_by_length == 2
+
+    def test_empty_is_neutral(self):
+        stats = WalkStatistics(4, 8, 2.0, 3, 1, 1, 1)
+        assert WalkStatistics.empty().merge(stats) == stats
+
+
+class TestWalkEngine:
+    def test_invalid_construction(self):
+        table = TransitionTable(sp.identity(2, format="csr") * 0.1)
+        with pytest.raises(ParameterError):
+            WalkEngine(table, weight_cutoff=-1.0, max_steps=5)
+        with pytest.raises(ParameterError):
+            WalkEngine(table, weight_cutoff=0.1, max_steps=0)
+
+    def test_estimates_neumann_sum_diagonal_case(self):
+        """For B = c*I the Neumann sum is 1/(1-c) on the diagonal, exactly."""
+        c = 0.5
+        b_matrix = sp.identity(6, format="csr") * c
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=1e-8,
+                            max_steps=60)
+        estimates, stats = engine.estimate_rows(np.arange(6), 1,
+                                                np.random.default_rng(0))
+        # A walk on c*I always stays on the diagonal with weight c^k: the
+        # estimate is deterministic regardless of the chain count.
+        np.testing.assert_allclose(np.diag(estimates), 1.0 / (1.0 - c), rtol=1e-5)
+        assert stats.n_walks == 6
+
+    def test_estimates_converge_with_more_chains(self, small_spd):
+        split, _table, _ = _engine_for(small_spd, 2.0)
+        truth = np.linalg.inv(np.eye(split.dimension)
+                              - split.iteration_matrix.toarray())
+        errors = []
+        for chains in (4, 64):
+            _, table, engine = _engine_for(small_spd, 2.0, weight_cutoff=1e-6,
+                                           max_steps=200)
+            estimates, _ = engine.estimate_rows(np.arange(split.dimension), chains,
+                                                np.random.default_rng(1))
+            errors.append(np.linalg.norm(estimates - truth) / np.linalg.norm(truth))
+        assert errors[1] < errors[0]
+
+    def test_unbiasedness_of_mean_estimate(self, small_spd):
+        """Averaging many independent runs approaches the true Neumann sum."""
+        split, table, engine = _engine_for(small_spd, 3.0, weight_cutoff=1e-7,
+                                           max_steps=200)
+        truth = np.linalg.inv(np.eye(split.dimension)
+                              - split.iteration_matrix.toarray())
+        rows = np.arange(10)
+        accumulator = np.zeros((10, split.dimension))
+        n_runs = 30
+        for run in range(n_runs):
+            estimates, _ = engine.estimate_rows(rows, 8, np.random.default_rng(run))
+            accumulator += estimates
+        accumulator /= n_runs
+        relative_error = (np.linalg.norm(accumulator - truth[rows])
+                          / np.linalg.norm(truth[rows]))
+        assert relative_error < 0.08
+
+    def test_statistics_fields_consistent(self, small_spd):
+        _, _, engine = _engine_for(small_spd, 1.0, max_steps=20)
+        _, stats = engine.estimate_rows(np.arange(10), 3, np.random.default_rng(2))
+        assert stats.n_walks == 30
+        assert 0 <= stats.mean_length <= stats.max_length <= 20
+
+    def test_weight_explosion_guard(self):
+        """A strongly divergent iteration matrix must not produce NaN estimates."""
+        b_matrix = sp.csr_matrix(np.array([[0.0, 3.0], [3.0, 0.0]]))
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=1e-8,
+                            max_steps=500)
+        estimates, _ = engine.estimate_rows(np.arange(2), 4, np.random.default_rng(0))
+        assert np.all(np.isfinite(estimates))
+
+    def test_invalid_chain_count(self, small_spd):
+        _, _, engine = _engine_for(small_spd, 1.0)
+        with pytest.raises(ParameterError):
+            engine.estimate_rows(np.arange(3), 0, np.random.default_rng(0))
+
+    def test_empty_row_selection(self, small_spd):
+        _, _, engine = _engine_for(small_spd, 1.0)
+        estimates, stats = engine.estimate_rows(np.empty(0, dtype=np.int64), 2,
+                                                np.random.default_rng(0))
+        assert estimates.shape == (0, small_spd.shape[0])
+        assert stats.n_walks == 0

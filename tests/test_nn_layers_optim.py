@@ -1,0 +1,217 @@
+"""Tests for the neural-network layers, optimisers, initialisers and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, SurrogateError
+from repro.nn import functional as F
+from repro.nn.init import kaiming_uniform, ones, xavier_uniform, zeros
+from repro.nn.layers import MLP, Dropout, LayerNorm, Linear, ReLU, Sequential, Softplus
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SurrogateError):
+            Linear(0, 3)
+
+    def test_xavier_init_option(self):
+        layer = Linear(4, 4, rng=np.random.default_rng(0), init="xavier")
+        assert np.abs(layer.weight.data).max() <= 1.5
+        with pytest.raises(SurrogateError):
+            Linear(4, 4, init="bogus")
+
+
+class TestModuleInfrastructure:
+    def test_named_parameters_unique(self):
+        mlp = MLP(3, 8, num_layers=2, rng=np.random.default_rng(0))
+        names = [name for name, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_num_parameters_positive(self):
+        mlp = MLP(3, 8, num_layers=2, rng=np.random.default_rng(0))
+        assert mlp.num_parameters() > 0
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(3, 8, num_layers=1, dropout=0.2, rng=np.random.default_rng(0))
+        mlp.eval()
+        assert all(not module.training for module in mlp.modules())
+        mlp.train()
+        assert all(module.training for module in mlp.modules())
+
+    def test_state_dict_round_trip(self):
+        mlp = MLP(3, 8, num_layers=2, rng=np.random.default_rng(0))
+        other = MLP(3, 8, num_layers=2, rng=np.random.default_rng(99))
+        other.load_state_dict(mlp.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(mlp(x).data, other(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        mlp = MLP(3, 8, num_layers=1, rng=np.random.default_rng(0))
+        other = MLP(3, 4, num_layers=1, rng=np.random.default_rng(0))
+        with pytest.raises(SurrogateError):
+            other.load_state_dict(mlp.state_dict())
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((1, 2))))
+        F.sum(out).backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_sequential_indexing(self):
+        seq = Sequential(ReLU(), Softplus())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+
+
+class TestLayerNormDropout:
+    def test_layer_norm_normalises(self):
+        norm = LayerNorm(6)
+        data = np.random.default_rng(0).standard_normal((4, 6)) * 5 + 3
+        out = norm(Tensor(data)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_layer_norm_invalid_shape(self):
+        with pytest.raises(SurrogateError):
+            LayerNorm(0)
+
+    def test_dropout_eval_identity(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        dropout.eval()
+        data = np.ones((3, 3))
+        np.testing.assert_allclose(dropout(Tensor(data)).data, data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(SurrogateError):
+            Dropout(1.5)
+
+
+class TestMLP:
+    def test_regression_fits_linear_target(self):
+        rng = np.random.default_rng(0)
+        model = MLP(5, 16, num_layers=2, out_features=1, final_activation=False,
+                    rng=np.random.default_rng(1))
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        inputs = rng.standard_normal((64, 5))
+        targets = inputs.sum(axis=1, keepdims=True)
+        losses = []
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = F.mse_loss(model(Tensor(inputs)), Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.25 * losses[0]
+
+    def test_invalid_layers(self):
+        with pytest.raises(SurrogateError):
+            MLP(3, 8, num_layers=0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        parameter = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        return parameter
+
+    def test_sgd_converges_on_quadratic(self):
+        parameter = self._quadratic_problem()
+        optimizer = SGD([parameter], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = F.sum(F.mul(parameter, parameter))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, 0.0, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        parameter = self._quadratic_problem()
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = F.sum(F.mul(parameter, parameter))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, 0.0, atol=1e-3)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.0001, weight_decay=10.0)
+        for _ in range(50):
+            optimizer.zero_grad()
+            F.sum(parameter * 0.0).backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 1.0
+
+    def test_invalid_hyperparameters(self):
+        parameter = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ParameterError):
+            Adam([parameter], lr=0.0)
+        with pytest.raises(ParameterError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ParameterError):
+            Adam([Tensor(np.ones(1))], lr=0.1)  # no trainable parameters
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        values = xavier_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(values).max() <= limit + 1e-12
+
+    def test_kaiming_bounds(self):
+        rng = np.random.default_rng(0)
+        values = kaiming_uniform((50, 10), rng)
+        assert np.abs(values).max() <= np.sqrt(6.0 / 50) + 1e-12
+
+    def test_constant_inits(self):
+        assert zeros((2, 2)).sum() == 0.0
+        assert ones((3,)).sum() == 3.0
+
+    def test_invalid_shapes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            xavier_uniform((0, 0), rng)
+        with pytest.raises(ParameterError):
+            kaiming_uniform((0,), rng)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        mlp = MLP(3, 8, num_layers=2, rng=np.random.default_rng(0))
+        path = save_state_dict(mlp.state_dict(), tmp_path / "model")
+        restored = load_state_dict(path)
+        fresh = MLP(3, 8, num_layers=2, rng=np.random.default_rng(5))
+        fresh.load_state_dict(restored)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(mlp(x).data, fresh(x).data)
+
+    def test_load_without_extension(self, tmp_path):
+        mlp = MLP(2, 4, rng=np.random.default_rng(0))
+        save_state_dict(mlp.state_dict(), tmp_path / "weights")
+        assert load_state_dict(tmp_path / "weights")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SurrogateError):
+            load_state_dict(tmp_path / "does_not_exist.npz")
+
+    def test_empty_state_rejected(self, tmp_path):
+        with pytest.raises(SurrogateError):
+            save_state_dict({}, tmp_path / "empty")

@@ -1,0 +1,154 @@
+"""Tests for the parallel-execution substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.parallel import (
+    HybridExecutor,
+    Partition,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskRNGFactory,
+    ThreadExecutor,
+    get_executor,
+    partition_by_weight,
+    partition_rows,
+    spawn_task_rngs,
+)
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class TestPartition:
+    def test_basic_properties(self):
+        partition = Partition(0, 2, 6)
+        assert partition.size == 4
+        assert list(partition) == [2, 3, 4, 5]
+        np.testing.assert_array_equal(partition.indices(), [2, 3, 4, 5])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParameterError):
+            Partition(0, 5, 3)
+
+    def test_partition_rows_covers_everything(self):
+        blocks = partition_rows(10, 3)
+        covered = [i for block in blocks for i in block]
+        assert covered == list(range(10))
+
+    def test_partition_rows_no_empty_blocks(self):
+        blocks = partition_rows(2, 5)
+        assert len(blocks) == 2
+        assert all(block.size > 0 for block in blocks)
+
+    def test_partition_rows_zero(self):
+        assert partition_rows(0, 3) == []
+
+    def test_partition_rows_invalid(self):
+        with pytest.raises(ParameterError):
+            partition_rows(5, 0)
+        with pytest.raises(ParameterError):
+            partition_rows(-1, 2)
+
+    def test_partition_by_weight_balances(self):
+        weights = np.array([1.0] * 8 + [20.0, 20.0])
+        blocks = partition_by_weight(weights, 2)
+        totals = [weights[block.start:block.stop].sum() for block in blocks]
+        assert abs(totals[0] - totals[1]) <= 20.0  # one heavy row of slack
+
+    def test_partition_by_weight_covers_all_rows(self):
+        weights = np.arange(1, 12, dtype=float)
+        blocks = partition_by_weight(weights, 4)
+        covered = [i for block in blocks for i in block]
+        assert covered == list(range(11))
+
+    def test_partition_by_weight_zero_weights(self):
+        blocks = partition_by_weight(np.zeros(6), 3)
+        assert sum(block.size for block in blocks) == 6
+
+    def test_partition_by_weight_invalid(self):
+        with pytest.raises(ParameterError):
+            partition_by_weight([-1.0, 2.0], 2)
+        with pytest.raises(ParameterError):
+            partition_by_weight(np.ones((2, 2)), 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_rows=st.integers(min_value=0, max_value=60),
+       n_tasks=st.integers(min_value=1, max_value=10))
+def test_partition_rows_property(n_rows, n_tasks):
+    """Property: blocks are contiguous, ordered and cover [0, n_rows)."""
+    blocks = partition_rows(n_rows, n_tasks)
+    covered = [i for block in blocks for i in block]
+    assert covered == list(range(n_rows))
+
+
+class TestTaskRNG:
+    def test_same_task_same_stream(self):
+        factory = TaskRNGFactory(0)
+        a = factory.for_task(3).random(5)
+        b = TaskRNGFactory(0).for_task(3).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_tasks_differ(self):
+        factory = TaskRNGFactory(0)
+        assert not np.allclose(factory.for_task(0).random(5),
+                               factory.for_task(1).random(5))
+
+    def test_for_tasks_count(self):
+        assert len(TaskRNGFactory(1).for_tasks(4)) == 4
+
+    def test_invalid_task_index(self):
+        with pytest.raises(ParameterError):
+            TaskRNGFactory(0).for_task(-1)
+
+    def test_spawn_task_rngs_helper(self):
+        assert len(spawn_task_rngs(0, 3)) == 3
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadExecutor(n_threads=2),
+        HybridExecutor(ranks=2, threads_per_rank=2),
+    ])
+    def test_results_in_task_order(self, executor):
+        tasks = list(range(13))
+        assert executor.map_tasks(_square, tasks) == [t * t for t in tasks]
+
+    def test_process_executor(self):
+        executor = ProcessExecutor(n_processes=2)
+        assert executor.map_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_task_list(self):
+        assert ThreadExecutor(2).map_tasks(_square, []) == []
+        assert HybridExecutor(2, 2).map_tasks(_square, []) == []
+
+    def test_workers_property(self):
+        assert SerialExecutor().workers == 1
+        assert ThreadExecutor(3).workers == 3
+        assert HybridExecutor(2, 4).workers == 8
+
+    def test_describe_mentions_configuration(self):
+        assert "ranks=2" in HybridExecutor(2, 4).describe()
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ParameterError):
+            ThreadExecutor(0)
+        with pytest.raises(ParameterError):
+            HybridExecutor(0, 1)
+        with pytest.raises(ParameterError):
+            ProcessExecutor(0)
+
+    def test_factory(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread", n_threads=2), ThreadExecutor)
+        assert isinstance(get_executor("hybrid", ranks=1, threads_per_rank=1),
+                          HybridExecutor)
+        with pytest.raises(ParameterError):
+            get_executor("gpu")

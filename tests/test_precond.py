@@ -1,0 +1,164 @@
+"""Tests for the baseline preconditioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import PreconditionerError
+from repro.krylov import cg, gmres
+from repro.matrices import laplacian_2d, pdd_real_sparse
+from repro.precond import (
+    IdentityPreconditioner,
+    ILU0Preconditioner,
+    IncompleteCholeskyPreconditioner,
+    JacobiPreconditioner,
+    MatrixPreconditioner,
+    NeumannPreconditioner,
+    SPAIPreconditioner,
+)
+
+
+class TestIdentityAndMatrix:
+    def test_identity_returns_copy(self):
+        preconditioner = IdentityPreconditioner(4)
+        vector = np.arange(4.0)
+        output = preconditioner.apply(vector)
+        np.testing.assert_allclose(output, vector)
+        output[0] = 99.0
+        assert vector[0] == 0.0
+
+    def test_identity_invalid_dimension(self):
+        with pytest.raises(PreconditionerError):
+            IdentityPreconditioner(0)
+
+    def test_matrix_preconditioner_applies_spmv(self, small_spd):
+        inverse_diag = sp.diags(1.0 / small_spd.diagonal(), format="csr")
+        preconditioner = MatrixPreconditioner(inverse_diag)
+        vector = np.ones(small_spd.shape[0])
+        np.testing.assert_allclose(preconditioner(vector), inverse_diag @ vector)
+        assert preconditioner.nnz == inverse_diag.nnz
+
+    def test_vector_length_validation(self, small_spd):
+        preconditioner = JacobiPreconditioner(small_spd)
+        with pytest.raises(PreconditionerError):
+            preconditioner.apply(np.ones(3))
+
+    def test_as_linear_operator(self, small_spd):
+        operator = JacobiPreconditioner(small_spd).as_linear_operator()
+        assert operator.shape == small_spd.shape
+
+
+class TestJacobi:
+    def test_matches_diagonal_inverse(self, small_spd):
+        preconditioner = JacobiPreconditioner(small_spd)
+        vector = np.ones(small_spd.shape[0])
+        np.testing.assert_allclose(preconditioner.apply(vector),
+                                   vector / small_spd.diagonal())
+
+    def test_zero_diagonal_rejected(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(PreconditionerError):
+            JacobiPreconditioner(matrix)
+
+
+class TestNeumann:
+    def test_accelerates_gmres(self):
+        matrix = laplacian_2d(10)
+        rhs = np.ones(matrix.shape[0])
+        plain = gmres(matrix, rhs, rtol=1e-8)
+        preconditioned = gmres(matrix, rhs, rtol=1e-8,
+                               preconditioner=NeumannPreconditioner(matrix, terms=8))
+        assert preconditioned.iterations < plain.iterations
+
+    def test_attributes(self, small_spd):
+        preconditioner = NeumannPreconditioner(small_spd, terms=3, alpha=0.5)
+        assert preconditioner.terms == 3
+        assert preconditioner.alpha == 0.5
+
+
+class TestILU0:
+    def test_exact_for_tridiagonal(self):
+        """ILU(0) of a tridiagonal matrix is the exact LU factorisation."""
+        matrix = sp.diags([-np.ones(9), 2.0 * np.ones(10), -np.ones(9)],
+                          offsets=[-1, 0, 1], format="csr")
+        preconditioner = ILU0Preconditioner(matrix)
+        rhs = np.arange(1.0, 11.0)
+        np.testing.assert_allclose(preconditioner.apply(matrix @ rhs), rhs, atol=1e-10)
+
+    def test_accelerates_gmres_on_laplacian(self):
+        matrix = laplacian_2d(10)
+        rhs = np.ones(matrix.shape[0])
+        plain = gmres(matrix, rhs, rtol=1e-8)
+        preconditioned = gmres(matrix, rhs, rtol=1e-8,
+                               preconditioner=ILU0Preconditioner(matrix))
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_requires_structural_diagonal(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(PreconditionerError):
+            ILU0Preconditioner(matrix)
+
+    def test_nnz_matches_pattern(self, small_nonsym):
+        preconditioner = ILU0Preconditioner(small_nonsym)
+        assert preconditioner.nnz == small_nonsym.nnz
+
+
+class TestIncompleteCholesky:
+    def test_exact_for_tridiagonal_spd(self):
+        matrix = sp.diags([-np.ones(9), 2.0 * np.ones(10), -np.ones(9)],
+                          offsets=[-1, 0, 1], format="csr")
+        preconditioner = IncompleteCholeskyPreconditioner(matrix)
+        rhs = np.linspace(0.0, 1.0, 10)
+        np.testing.assert_allclose(preconditioner.apply(matrix @ rhs), rhs, atol=1e-10)
+
+    def test_accelerates_cg(self):
+        matrix = laplacian_2d(10)
+        rhs = np.ones(matrix.shape[0])
+        plain = cg(matrix, rhs, rtol=1e-8)
+        preconditioned = cg(matrix, rhs, rtol=1e-8,
+                            preconditioner=IncompleteCholeskyPreconditioner(matrix))
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_rejects_nonsymmetric(self, small_nonsym):
+        with pytest.raises(PreconditionerError):
+            IncompleteCholeskyPreconditioner(small_nonsym)
+
+    def test_lower_factor_is_lower_triangular(self, small_spd):
+        preconditioner = IncompleteCholeskyPreconditioner(small_spd)
+        upper_part = sp.triu(preconditioner.lower_factor, k=1)
+        assert upper_part.nnz == 0
+
+
+class TestSPAI:
+    def test_better_than_jacobi_on_laplacian(self):
+        matrix = laplacian_2d(8)
+        rhs = np.ones(matrix.shape[0])
+        jacobi = gmres(matrix, rhs, rtol=1e-8,
+                       preconditioner=JacobiPreconditioner(matrix))
+        spai = gmres(matrix, rhs, rtol=1e-8,
+                     preconditioner=SPAIPreconditioner(matrix))
+        assert spai.converged
+        assert spai.iterations <= jacobi.iterations
+
+    def test_pattern_power_two_improves_accuracy(self, small_spd):
+        identity = np.eye(small_spd.shape[0])
+        errors = []
+        for power in (1, 2):
+            spai = SPAIPreconditioner(small_spd, pattern_power=power)
+            errors.append(np.linalg.norm(small_spd.toarray() @ spai.matrix.toarray()
+                                         - identity))
+        assert errors[1] < errors[0]
+
+    def test_invalid_pattern_power(self, small_spd):
+        with pytest.raises(PreconditionerError):
+            SPAIPreconditioner(small_spd, pattern_power=0)
+
+    def test_works_for_nonsymmetric(self, small_nonsym):
+        spai = SPAIPreconditioner(small_nonsym)
+        result = gmres(small_nonsym, np.ones(small_nonsym.shape[0]),
+                       preconditioner=spai, rtol=1e-8)
+        assert result.converged

@@ -1,0 +1,95 @@
+"""Tests for repro.sparse.norms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError
+from repro.matrices import laplacian_2d
+from repro.sparse.norms import (
+    condition_number,
+    condition_number_estimate,
+    norm_1,
+    norm_2_estimate,
+    norm_fro,
+    norm_inf,
+    spectral_radius,
+)
+
+
+class TestElementaryNorms:
+    def setup_method(self):
+        self.matrix = np.array([[1.0, -2.0], [3.0, 4.0]])
+
+    def test_norm_1(self):
+        assert norm_1(self.matrix) == pytest.approx(6.0)
+
+    def test_norm_inf(self):
+        assert norm_inf(self.matrix) == pytest.approx(7.0)
+
+    def test_norm_fro(self):
+        assert norm_fro(self.matrix) == pytest.approx(np.sqrt(30.0))
+
+    def test_empty_matrix_norms_are_zero(self):
+        empty = sp.csr_matrix((3, 3))
+        assert norm_1(empty) == 0.0
+        assert norm_inf(empty) == 0.0
+        assert norm_fro(empty) == 0.0
+
+
+class TestNorm2Estimate:
+    def test_matches_dense_for_small(self, small_spd):
+        exact = np.linalg.norm(small_spd.toarray(), 2)
+        assert norm_2_estimate(small_spd) == pytest.approx(exact, rel=1e-6)
+
+    def test_larger_matrix_close_to_exact(self):
+        matrix = laplacian_2d(12)
+        exact = np.linalg.norm(matrix.toarray(), 2)
+        assert norm_2_estimate(matrix, iterations=200) == pytest.approx(exact, rel=1e-2)
+
+
+class TestSpectralRadius:
+    def test_diagonal_matrix(self):
+        matrix = sp.diags([1.0, -3.0, 2.0], format="csr")
+        assert spectral_radius(matrix) == pytest.approx(3.0)
+
+    def test_large_matrix_uses_power_iteration(self):
+        matrix = sp.diags(np.linspace(0.1, 0.9, 400), format="csr")
+        # Power iteration on closely spaced eigenvalues is only an estimate.
+        assert spectral_radius(matrix) == pytest.approx(0.9, rel=2e-2)
+
+    def test_zero_matrix(self):
+        assert spectral_radius(sp.csr_matrix((300, 300))) == 0.0
+
+
+class TestConditionNumber:
+    def test_identity_has_condition_one(self):
+        assert condition_number(sp.identity(10, format="csr")) == pytest.approx(1.0)
+
+    def test_known_diagonal(self):
+        matrix = sp.diags([1.0, 10.0, 100.0], format="csr")
+        assert condition_number(matrix) == pytest.approx(100.0)
+
+    def test_singular_matrix_is_huge(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        # The smallest singular value is zero up to round-off, so the measured
+        # condition number is either inf or astronomically large.
+        assert condition_number(matrix) > 1e15
+
+    def test_estimate_within_factor_of_exact(self):
+        matrix = laplacian_2d(10)
+        exact = condition_number(matrix)
+        estimate = condition_number_estimate(matrix)
+        assert exact / 10 <= estimate <= exact * 10
+
+    def test_estimate_rejects_singular(self):
+        singular = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(MatrixFormatError):
+            condition_number_estimate(singular)
+
+    def test_laplacian_condition_grows_with_resolution(self):
+        small = condition_number(laplacian_2d(8))
+        large = condition_number(laplacian_2d(16))
+        assert large > small * 2

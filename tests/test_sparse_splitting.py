@@ -1,0 +1,115 @@
+"""Tests for repro.sparse.splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError, SpectralRadiusError
+from repro.matrices import laplacian_2d
+from repro.sparse.splitting import (
+    iteration_matrix,
+    jacobi_splitting,
+    neumann_series_inverse,
+    perturb_diagonal,
+)
+
+
+class TestPerturbDiagonal:
+    def test_alpha_zero_is_copy(self, small_spd):
+        perturbed = perturb_diagonal(small_spd, 0.0)
+        assert (perturbed != small_spd).nnz == 0
+        assert perturbed is not small_spd
+
+    def test_diagonal_scaling(self, small_spd):
+        perturbed = perturb_diagonal(small_spd, 1.0)
+        np.testing.assert_allclose(perturbed.diagonal(), 2.0 * small_spd.diagonal())
+
+    def test_off_diagonal_untouched(self, small_nonsym):
+        perturbed = perturb_diagonal(small_nonsym, 2.0)
+        difference = (perturbed - small_nonsym).tocsr()
+        off_diag = difference - sp.diags(difference.diagonal())
+        assert abs(off_diag).sum() == pytest.approx(0.0)
+
+    def test_zero_diagonal_rows_get_fallback(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        perturbed = perturb_diagonal(matrix, 1.0)
+        assert perturbed.diagonal()[0] != 0.0
+
+    def test_negative_alpha_raises(self, small_spd):
+        with pytest.raises(MatrixFormatError):
+            perturb_diagonal(small_spd, -0.5)
+
+
+class TestJacobiSplitting:
+    def test_reconstruction(self, small_spd):
+        split = jacobi_splitting(small_spd, 0.5)
+        reconstructed = sp.diags(split.diagonal) @ (
+            sp.identity(split.dimension) - split.iteration_matrix)
+        np.testing.assert_allclose(reconstructed.toarray(),
+                                   split.perturbed.toarray(), atol=1e-12)
+
+    def test_iteration_matrix_has_zero_diagonal(self, small_spd):
+        split = jacobi_splitting(small_spd, 1.0)
+        np.testing.assert_allclose(split.iteration_matrix.diagonal(), 0.0, atol=1e-14)
+
+    def test_alpha_shrinks_norm(self, small_spd):
+        loose = jacobi_splitting(small_spd, 0.0)
+        tight = jacobi_splitting(small_spd, 4.0)
+        assert tight.norm_inf_b < loose.norm_inf_b
+
+    def test_contraction_flags(self, small_spd):
+        split = jacobi_splitting(small_spd, 4.0)
+        assert split.is_contraction()
+        assert split.is_contraction(strict_norm=True)
+
+    def test_require_contraction_raises(self):
+        # A matrix with overwhelming off-diagonal mass never contracts at alpha=0.
+        matrix = np.array([[1.0, 10.0], [10.0, 1.0]])
+        with pytest.raises(SpectralRadiusError):
+            jacobi_splitting(matrix, 0.0, require_contraction=True)
+
+    def test_zero_diagonal_rejected(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(MatrixFormatError):
+            jacobi_splitting(matrix, 0.0)
+
+    def test_iteration_matrix_shorthand(self, small_spd):
+        b_matrix = iteration_matrix(small_spd, 1.0)
+        split = jacobi_splitting(small_spd, 1.0)
+        assert (b_matrix != split.iteration_matrix).nnz == 0
+
+
+class TestNeumannSeriesInverse:
+    def test_converges_to_true_inverse(self):
+        matrix = laplacian_2d(5)
+        # Strong diagonal perturbation makes the series converge quickly.
+        approx = neumann_series_inverse(matrix, alpha=4.0, terms=60)
+        perturbed = perturb_diagonal(matrix, 4.0).toarray()
+        np.testing.assert_allclose(approx.toarray() @ perturbed,
+                                   np.eye(matrix.shape[0]), atol=1e-4)
+
+    def test_single_term_is_diagonal_inverse(self, small_spd):
+        approx = neumann_series_inverse(small_spd, alpha=0.0, terms=1)
+        np.testing.assert_allclose(approx.toarray(),
+                                   np.diag(1.0 / small_spd.diagonal().ravel()))
+
+    def test_more_terms_reduce_error(self, small_spd):
+        perturbed = perturb_diagonal(small_spd, 2.0).toarray()
+        identity = np.eye(small_spd.shape[0])
+        errors = []
+        for terms in (2, 8, 20):
+            approx = neumann_series_inverse(small_spd, alpha=2.0, terms=terms)
+            errors.append(np.linalg.norm(approx.toarray() @ perturbed - identity))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_drop_tolerance_reduces_nnz(self, small_spd):
+        dense = neumann_series_inverse(small_spd, alpha=2.0, terms=8)
+        sparse = neumann_series_inverse(small_spd, alpha=2.0, terms=8,
+                                        drop_tolerance=1e-3)
+        assert sparse.nnz <= dense.nnz
+
+    def test_invalid_terms(self, small_spd):
+        with pytest.raises(MatrixFormatError):
+            neumann_series_inverse(small_spd, terms=0)

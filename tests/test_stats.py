@@ -1,0 +1,186 @@
+"""Tests for the statistics utilities (Wilson, calibration, intervals, summaries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.stats import (
+    DEFAULT_CONFIDENCE_LEVELS,
+    boxplot_summary,
+    calibration_curve,
+    empirical_coverage,
+    mean_inclusion,
+    median_absolute_deviation,
+    normal_confidence_interval,
+    prediction_interval,
+    t_confidence_interval,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lower, upper = wilson_interval(30, 100)
+        assert lower < 0.3 < upper
+
+    def test_bounds_inside_unit_interval_extreme_cases(self):
+        assert wilson_interval(0, 10)[0] == pytest.approx(0.0, abs=1e-12)
+        assert wilson_interval(10, 10)[1] == pytest.approx(1.0, abs=1e-12)
+        lower, upper = wilson_interval(0, 5)
+        assert 0.0 <= lower <= upper <= 1.0
+
+    def test_width_shrinks_with_n(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_matches_paper_formula(self):
+        """Eq. 6 evaluated by hand for p_hat = 0.8, n = 640, z = 1.959964."""
+        from scipy.stats import norm
+
+        n, p_hat = 640, 0.8
+        z = norm.ppf(0.975)
+        centre = p_hat + z * z / (2 * n)
+        margin = z * np.sqrt(p_hat * (1 - p_hat) / n + z * z / (4 * n * n))
+        denominator = 1 + z * z / n
+        expected = ((centre - margin) / denominator, (centre + margin) / denominator)
+        observed = wilson_interval(p_hat * n, n)
+        assert observed[0] == pytest.approx(expected[0])
+        assert observed[1] == pytest.approx(expected[1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(1, 0)
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 4)
+        with pytest.raises(ParameterError):
+            wilson_interval(1, 10, confidence=1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(successes=st.integers(min_value=0, max_value=50),
+       extra=st.integers(min_value=0, max_value=50))
+def test_wilson_interval_property(successes, extra):
+    """Property: bounds stay in [0, 1] and bracket the empirical proportion."""
+    n = successes + extra
+    if n == 0:
+        return
+    lower, upper = wilson_interval(successes, n)
+    assert 0.0 <= lower <= upper <= 1.0
+    assert lower <= successes / n + 1e-12
+    assert upper >= successes / n - 1e-12
+
+
+class TestCalibration:
+    def test_prediction_interval_width(self):
+        mu = np.zeros(3)
+        sigma = np.ones(3)
+        lower, upper = prediction_interval(mu, sigma, 0.95)
+        assert upper[0] == pytest.approx(1.959964, abs=1e-4)
+        assert lower[0] == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_prediction_interval_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            prediction_interval(np.zeros(2), np.ones(2), 1.0)
+
+    def test_empirical_coverage_of_well_calibrated_gaussian(self):
+        rng = np.random.default_rng(0)
+        mu = np.zeros(20_000)
+        sigma = np.ones(20_000)
+        observations = rng.standard_normal(20_000)
+        for tau in (0.5, 0.9):
+            assert empirical_coverage(observations, mu, sigma, tau) == pytest.approx(
+                tau, abs=0.02)
+
+    def test_calibration_curve_detects_overconfidence(self):
+        rng = np.random.default_rng(1)
+        observations = rng.standard_normal(2000)
+        overconfident = calibration_curve(observations, np.zeros(2000),
+                                          0.3 * np.ones(2000), label="over")
+        wellcalibrated = calibration_curve(observations, np.zeros(2000),
+                                           np.ones(2000), label="ok")
+        assert overconfident.is_overconfident()
+        assert (overconfident.mean_absolute_miscalibration()
+                > wellcalibrated.mean_absolute_miscalibration())
+
+    def test_curve_rows_and_levels(self):
+        observations = np.random.default_rng(2).standard_normal(50)
+        curve = calibration_curve(observations, np.zeros(50), np.ones(50))
+        assert len(curve.as_rows()) == len(DEFAULT_CONFIDENCE_LEVELS)
+        np.testing.assert_allclose(curve.confidence_levels, DEFAULT_CONFIDENCE_LEVELS)
+        assert np.all(curve.wilson_lower <= curve.observed_coverage + 1e-12)
+        assert np.all(curve.observed_coverage <= curve.wilson_upper + 1e-12)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            calibration_curve(np.zeros(3), np.zeros(2), np.ones(2))
+
+
+class TestIntervals:
+    def test_t_interval_wider_than_normal_for_small_n(self):
+        values = np.array([1.0, 1.2, 0.8, 1.1, 0.9])
+        normal = normal_confidence_interval(values, confidence=0.99)
+        student = t_confidence_interval(values, confidence=0.99)
+        assert (student[1] - student[0]) > (normal[1] - normal[0])
+
+    def test_single_value_degenerates(self):
+        assert t_confidence_interval(np.array([2.0])) == (2.0, 2.0)
+
+    def test_mean_inclusion_true_and_false(self):
+        values = np.array([1.0, 1.1, 0.9, 1.05, 0.95])
+        assert mean_inclusion(1.0, values)
+        assert not mean_inclusion(5.0, values)
+
+    def test_mean_inclusion_degenerate_values(self):
+        values = np.full(5, 2.0)
+        assert mean_inclusion(2.0, values)
+        assert not mean_inclusion(2.5, values)
+
+    def test_mean_inclusion_methods(self):
+        values = np.array([1.0, 1.2, 0.8])
+        assert mean_inclusion(1.0, values, method="normal")
+        with pytest.raises(ParameterError):
+            mean_inclusion(1.0, values, method="bootstrap")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ParameterError):
+            t_confidence_interval(np.array([]))
+
+
+class TestSummary:
+    def test_boxplot_summary_known_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        summary = boxplot_summary(values)
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert 100.0 in summary.outliers
+        assert summary.whisker_high < 100.0
+        assert summary.n == 5
+
+    def test_as_dict_keys(self):
+        summary = boxplot_summary(np.arange(10.0))
+        assert {"min", "median", "q1", "q3", "mean", "n"} <= set(summary.as_dict())
+
+    def test_mad(self):
+        assert median_absolute_deviation(np.array([1.0, 1.0, 4.0])) == 0.0
+        assert median_absolute_deviation(np.array([1.0, 2.0, 9.0])) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            boxplot_summary(np.array([]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.floats(min_value=-100, max_value=100,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=40))
+def test_boxplot_summary_ordering_property(values):
+    """Property: the five-number summary is correctly ordered."""
+    summary = boxplot_summary(np.array(values))
+    assert (summary.minimum <= summary.whisker_low <= summary.first_quartile
+            <= summary.median <= summary.third_quartile <= summary.whisker_high
+            <= summary.maximum)
