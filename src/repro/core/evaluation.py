@@ -21,8 +21,10 @@ from repro.krylov import solve
 from repro.logging_utils import get_logger
 from repro.mcmc.parameters import MCMCParameters
 from repro.mcmc.preconditioner import MCMCPreconditioner
+from repro.mcmc.walks import TransitionTable
 from repro.parallel.executor import Executor
 from repro.sparse.csr import validate_square
+from repro.sparse.splitting import jacobi_splitting
 
 __all__ = [
     "SolverSettings",
@@ -146,6 +148,8 @@ class MatrixEvaluator:
         self.seed = int(seed)
         self.executor = executor
         self._baseline_cache: dict[str, int] = {}
+        self._table_cache: dict[float, TransitionTable] = {}
+        self._table_cache_size = 8
 
     # -- baselines -------------------------------------------------------------
     def baseline_iterations(self, solver: str) -> int:
@@ -160,11 +164,31 @@ class MatrixEvaluator:
                        solver, self.name, iterations, result.converged)
         return self._baseline_cache[solver]
 
+    def _transition_table(self, alpha: float) -> TransitionTable:
+        """Per-``alpha`` cached transition table (independent of eps/delta).
+
+        Replications and eps/delta sweeps rebuild the preconditioner many
+        times at the same ``alpha``; caching the table here removes the only
+        build step those repeats share.  The cache is a small LRU: BO rounds
+        propose continuous ``alpha`` values, and the padded tables are dense
+        ``(n, max_row_nnz)`` arrays that must not accumulate unboundedly.
+        """
+        key = float(alpha)
+        if key in self._table_cache:
+            self._table_cache[key] = self._table_cache.pop(key)
+        else:
+            split = jacobi_splitting(self.matrix, key)
+            self._table_cache[key] = TransitionTable(split.iteration_matrix)
+            while len(self._table_cache) > self._table_cache_size:
+                self._table_cache.pop(next(iter(self._table_cache)))
+        return self._table_cache[key]
+
     # -- measurements -----------------------------------------------------------
     def measure_once(self, parameters: MCMCParameters, *, seed: int) -> tuple[int, float]:
         """One preconditioner build + solve; returns (iterations, y)."""
-        preconditioner = MCMCPreconditioner(self.matrix, parameters, seed=seed,
-                                            executor=self.executor)
+        preconditioner = MCMCPreconditioner(
+            self.matrix, parameters, seed=seed, executor=self.executor,
+            transition_table=self._transition_table(parameters.alpha))
         kwargs = self.settings.solver_kwargs(parameters.solver, self.matrix.shape[0])
         result = solve(self.matrix, self.rhs, solver=parameters.solver,
                        preconditioner=preconditioner, **kwargs)

@@ -71,7 +71,13 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             break
         z = apply_m(residual)
         rz_new = float(np.dot(residual, z))
-        if rz == 0.0:
+        # A vanishing M-inner product with a non-converged residual is a true
+        # breakdown (e.g. an indefinite preconditioner): beta would be 0 and
+        # the recursion would restart from a useless direction.  The old `rz`
+        # can also be zero here — only when the *initial* (r0, M r0) vanished,
+        # since later values are previous non-zero `rz_new`s — and would make
+        # `beta` divide by zero.
+        if rz_new == 0.0 or rz == 0.0:
             breakdown = True
             break
         beta = rz_new / rz

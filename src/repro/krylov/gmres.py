@@ -118,7 +118,11 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             residual_norm = abs(rhs_small[j + 1])
             residual_history.append(float(residual_norm))
             if residual_norm <= tolerance or lucky_breakdown:
-                converged = residual_norm <= tolerance or lucky_breakdown
+                # End the cycle; convergence is only declared below, after the
+                # true preconditioned residual is recomputed.  A "lucky"
+                # breakdown whose recomputed residual still exceeds the
+                # tolerance (near-dependent basis, singular preconditioner)
+                # must not be reported as converged.
                 break
 
         # --- Solve the small triangular system and update the iterate --------

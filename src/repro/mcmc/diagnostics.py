@@ -96,4 +96,5 @@ def chain_length_profile(matrix: sp.spmatrix, parameters: MCMCParameters, *,
         "fraction_truncated_by_weight": statistics.truncated_by_weight / walks,
         "fraction_truncated_by_length": statistics.truncated_by_length / walks,
         "fraction_absorbed": statistics.absorbed / walks,
+        "fraction_exploded": statistics.exploded / walks,
     }

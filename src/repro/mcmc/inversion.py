@@ -32,11 +32,14 @@ from repro.parallel.rng import TaskRNGFactory
 from repro.sparse.csr import (
     ensure_csr,
     fill_factor,
-    nnz_per_row,
     truncate_to_fill_factor,
     validate_square,
 )
-from repro.sparse.splitting import SplittingResult, jacobi_splitting
+from repro.sparse.splitting import (
+    SplittingResult,
+    jacobi_splitting,
+    perturbed_diagonal,
+)
 
 __all__ = ["InversionReport", "estimate_inverse"]
 
@@ -102,6 +105,7 @@ def estimate_inverse(matrix: sp.spmatrix, parameters: MCMCParameters, *,
                      drop_tolerance: float = DEFAULT_DROP_TOLERANCE,
                      chain_cap: int = 10_000,
                      walk_length_cap: int = 512,
+                     transition_table: TransitionTable | None = None,
                      return_report: bool = False,
                      ) -> sp.csr_matrix | tuple[sp.csr_matrix, InversionReport]:
     """Estimate ``P ≈ (A + alpha * diag(A))^{-1}`` by MCMC.
@@ -126,6 +130,14 @@ def estimate_inverse(matrix: sp.spmatrix, parameters: MCMCParameters, *,
         Entries below this magnitude are dropped (paper default ``1e-9``).
     chain_cap, walk_length_cap:
         Safety caps for pathological parameter values during BO exploration.
+    transition_table:
+        Optional pre-built :class:`TransitionTable` for this ``(A, alpha)``
+        pair.  The table only depends on the Jacobi splitting — not on
+        ``eps`` / ``delta`` — so callers sweeping those parameters (the
+        ablation grids, replicated evaluations) can build it once and stop
+        re-deriving it on every call.  The caller is responsible for the
+        table matching ``TransitionTable(jacobi_splitting(A, alpha)
+        .iteration_matrix)``; only the dimension is validated here.
     return_report:
         When true, also return an :class:`InversionReport`.
     """
@@ -133,10 +145,28 @@ def estimate_inverse(matrix: sp.spmatrix, parameters: MCMCParameters, *,
     if fill_multiple is not None and fill_multiple < 0:
         raise ParameterError(f"fill_multiple must be >= 0, got {fill_multiple}")
 
-    split: SplittingResult = jacobi_splitting(csr, parameters.alpha)
-    table = TransitionTable(split.iteration_matrix)
+    if transition_table is None:
+        split: SplittingResult = jacobi_splitting(csr, parameters.alpha)
+        table = TransitionTable(split.iteration_matrix)
+        diagonal = split.diagonal
+        norm_inf_b = split.norm_inf_b
+    else:
+        if transition_table.dimension != csr.shape[0]:
+            raise ParameterError(
+                f"transition_table dimension {transition_table.dimension} "
+                f"incompatible with matrix dimension {csr.shape[0]}")
+        # The table already encodes B; only the (cheap) perturbed diagonal is
+        # needed for the D^{-1} column scaling, and ||B||_inf is the largest
+        # per-row weight multiplier the table stores.
+        table = transition_table
+        diagonal = perturbed_diagonal(csr, parameters.alpha)
+        if np.any(diagonal == 0.0):
+            raise ParameterError(
+                "Jacobi splitting requires a non-zero diagonal; "
+                "increase alpha or re-order the matrix")
+        norm_inf_b = table.norm_inf_b
     chains_per_row = parameters.num_chains(cap=chain_cap)
-    max_walk_length = parameters.max_walk_length(split.norm_inf_b, cap=walk_length_cap)
+    max_walk_length = parameters.max_walk_length(norm_inf_b, cap=walk_length_cap)
     engine = WalkEngine(table, weight_cutoff=parameters.delta,
                         max_steps=max_walk_length)
 
@@ -147,10 +177,10 @@ def estimate_inverse(matrix: sp.spmatrix, parameters: MCMCParameters, *,
         # dense accumulation buffer stays below the memory cap.
         memory_tasks = int(np.ceil(n * n / _MAX_DENSE_BLOCK_ENTRIES))
         n_tasks = max(executor.workers, memory_tasks, 1)
-    weights = np.maximum(nnz_per_row(split.iteration_matrix), 1)
+    weights = np.maximum(table.row_nnz, 1)
     blocks = partition_by_weight(weights, n_tasks)
     rng_factory = TaskRNGFactory(seed)
-    inverse_diagonal = 1.0 / split.diagonal
+    inverse_diagonal = 1.0 / diagonal
 
     results = executor.map_tasks(
         lambda block: _estimate_block(block, engine, chains_per_row, rng_factory,
@@ -175,8 +205,8 @@ def estimate_inverse(matrix: sp.spmatrix, parameters: MCMCParameters, *,
         dimension=n,
         chains_per_row=chains_per_row,
         max_walk_length=max_walk_length,
-        norm_inf_b=split.norm_inf_b,
-        contraction=split.norm_inf_b < 1.0,
+        norm_inf_b=norm_inf_b,
+        contraction=norm_inf_b < 1.0,
         nnz_before_truncation=nnz_before,
         nnz_after_truncation=approx_inverse.nnz,
         fill_factor=fill_factor(approx_inverse),

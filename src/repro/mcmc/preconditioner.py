@@ -19,6 +19,7 @@ from repro.mcmc.inversion import (
     estimate_inverse,
 )
 from repro.mcmc.parameters import MCMCParameters
+from repro.mcmc.walks import TransitionTable
 from repro.parallel.executor import Executor
 from repro.precond.base import MatrixPreconditioner
 
@@ -42,6 +43,10 @@ class MCMCPreconditioner(MatrixPreconditioner):
         Retained fill as a multiple of ``phi(A)`` (paper default: 2.0).
     drop_tolerance:
         Truncation threshold (paper default: ``1e-9``).
+    transition_table:
+        Optional pre-built :class:`~repro.mcmc.walks.TransitionTable` for
+        this ``(A, alpha)`` pair; lets callers sweeping ``eps`` / ``delta``
+        (replications, ablation grids) reuse one table across builds.
 
     Examples
     --------
@@ -59,7 +64,8 @@ class MCMCPreconditioner(MatrixPreconditioner):
                  seed: int | None = 0,
                  executor: Executor | None = None,
                  fill_multiple: float = DEFAULT_FILL_MULTIPLE,
-                 drop_tolerance: float = DEFAULT_DROP_TOLERANCE) -> None:
+                 drop_tolerance: float = DEFAULT_DROP_TOLERANCE,
+                 transition_table: TransitionTable | None = None) -> None:
         approximate_inverse, report = estimate_inverse(
             matrix,
             parameters,
@@ -67,6 +73,7 @@ class MCMCPreconditioner(MatrixPreconditioner):
             executor=executor,
             fill_multiple=fill_multiple,
             drop_tolerance=drop_tolerance,
+            transition_table=transition_table,
             return_report=True,
         )
         super().__init__(approximate_inverse, name="MCMCPreconditioner")

@@ -36,7 +36,23 @@ __all__ = ["TransitionTable", "WalkStatistics", "WalkEngine"]
 
 @dataclass(frozen=True)
 class WalkStatistics:
-    """Aggregate statistics of one batch of walks (for diagnostics/benchmarks)."""
+    """Aggregate statistics of one batch of walks (for diagnostics/benchmarks).
+
+    The termination categories are **mutually exclusive**: every walk is
+    attributed to exactly one of ``absorbed``, ``exploded``,
+    ``truncated_by_weight``, ``truncated_by_length`` or ``still_active``, so
+
+    ``absorbed + exploded + truncated_by_weight + truncated_by_length
+    + still_active == n_walks``.
+
+    When several termination conditions coincide at the same step, the
+    documented priority order is ``absorbed > exploded > truncated_by_weight``
+    (absorption is a property of the chain itself, weight-based truncation a
+    property of the estimator).  ``truncated_by_length`` covers walks cut by
+    the step cap; ``still_active`` counts walks a caller stopped advancing
+    before any termination criterion fired (always 0 for
+    :meth:`WalkEngine.estimate_rows`, which runs every walk to termination).
+    """
 
     n_walks: int
     total_steps: int
@@ -45,6 +61,8 @@ class WalkStatistics:
     truncated_by_weight: int
     truncated_by_length: int
     absorbed: int
+    exploded: int = 0
+    still_active: int = 0
 
     def merge(self, other: "WalkStatistics") -> "WalkStatistics":
         """Combine statistics from two batches."""
@@ -59,6 +77,8 @@ class WalkStatistics:
             truncated_by_weight=self.truncated_by_weight + other.truncated_by_weight,
             truncated_by_length=self.truncated_by_length + other.truncated_by_length,
             absorbed=self.absorbed + other.absorbed,
+            exploded=self.exploded + other.exploded,
+            still_active=self.still_active + other.still_active,
         )
 
     @staticmethod
@@ -77,6 +97,12 @@ class TransitionTable:
     * the weight multiplier ``B_{st} / p_{st} = sign(B_{st}) * sum_u |B_{su}|``.
 
     Rows without non-zeros are *absorbing*: a walk entering them terminates.
+
+    The construction is fully vectorised over the CSR arrays (segment sums
+    via ``np.add.reduceat``, a padded-scatter followed by a row-wise
+    ``np.cumsum`` for the inverse-CDF tables) — no per-row Python loop — which
+    makes the table build essentially free next to the walks themselves even
+    for paper-scale matrices.
     """
 
     def __init__(self, b_matrix: sp.spmatrix) -> None:
@@ -85,36 +111,55 @@ class TransitionTable:
             raise ParameterError(
                 f"iteration matrix must be square, got shape {csr.shape}")
         self._n = csr.shape[0]
-        row_counts = np.diff(csr.indptr)
-        self._row_nnz = row_counts.astype(np.int64)
+        row_counts = np.diff(csr.indptr).astype(np.int64)
         max_nnz = int(row_counts.max()) if csr.nnz else 0
         self._max_nnz = max_nnz
+        width = max(max_nnz, 1)
 
-        self._cumprob = np.ones((self._n, max(max_nnz, 1)), dtype=np.float64)
-        self._columns = np.zeros((self._n, max(max_nnz, 1)), dtype=np.int64)
-        self._multiplier = np.zeros((self._n, max(max_nnz, 1)), dtype=np.float64)
+        self._columns = np.zeros((self._n, width), dtype=np.int64)
+        self._multiplier = np.zeros((self._n, width), dtype=np.float64)
         self._row_abs_sum = np.zeros(self._n, dtype=np.float64)
 
         data, indices, indptr = csr.data, csr.indices, csr.indptr
-        for row in range(self._n):
-            start, stop = indptr[row], indptr[row + 1]
-            if start == stop:
-                continue
-            values = data[start:stop]
-            cols = indices[start:stop]
-            abs_values = np.abs(values)
-            total = float(abs_values.sum())
-            self._row_abs_sum[row] = total
-            if total == 0.0:
-                # All stored entries are (numerically) zero: absorbing row.
-                self._row_nnz[row] = 0
-                continue
-            probabilities = abs_values / total
-            self._cumprob[row, : stop - start] = np.cumsum(probabilities)
-            # Guard against round-off: the last cumulative value must be >= 1.
-            self._cumprob[row, stop - start - 1] = 1.0
-            self._columns[row, : stop - start] = cols
-            self._multiplier[row, : stop - start] = np.sign(values) * total
+        nnz = int(csr.nnz)
+        if nnz == 0:
+            self._row_nnz = np.zeros(self._n, dtype=np.int64)
+            self._cumprob = np.ones((self._n, width), dtype=np.float64)
+            return
+
+        abs_data = np.abs(data)
+        nonempty = row_counts > 0
+        # Per-row sums of |B|: reduceat over the starts of the non-empty rows
+        # (consecutive starts bound exactly one row's segment).
+        self._row_abs_sum[nonempty] = np.add.reduceat(
+            abs_data, indptr[:-1][nonempty])
+        # Rows whose stored entries are all (numerically) zero are absorbing.
+        self._row_nnz = np.where(self._row_abs_sum > 0.0, row_counts, 0)
+
+        # Flat index of every stored entry in the padded (n, width) tables:
+        # entry k of row r lands at r * width + k, i.e. its CSR position plus
+        # a per-row shift of (r * width - indptr[r]).
+        shifts = np.arange(self._n, dtype=np.int64) * width - indptr[:-1]
+        flat = np.arange(nnz, dtype=np.int64) + np.repeat(shifts, row_counts)
+        totals = np.repeat(self._row_abs_sum, row_counts)
+        if np.any(self._row_abs_sum[nonempty] == 0.0):
+            live = totals > 0.0
+            flat, totals = flat[live], totals[live]
+            data, indices, abs_data = data[live], indices[live], abs_data[live]
+
+        probabilities = np.zeros(self._n * width, dtype=np.float64)
+        probabilities[flat] = abs_data / totals
+        # Row-wise cumulative sums reproduce the per-row inverse-CDF tables
+        # (trailing zero padding after a row's last entry holds the row total,
+        # which :meth:`step` can never mis-sample thanks to its clamp).
+        cumprob = np.cumsum(probabilities.reshape(self._n, width), axis=1)
+        # Guard against round-off: the last real cumulative value must be >= 1.
+        last = np.maximum(self._row_nnz, 1) - 1
+        cumprob[np.arange(self._n), last] = 1.0
+        self._cumprob = cumprob
+
+        self._columns.ravel()[flat] = indices
+        self._multiplier.ravel()[flat] = np.sign(data) * totals
 
     # -- simple accessors ---------------------------------------------------
     @property
@@ -131,6 +176,16 @@ class TransitionTable:
     def row_abs_sums(self) -> np.ndarray:
         """``sum_u |B_{su}|`` per row (the weight multipliers' magnitude)."""
         return self._row_abs_sum
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Stored non-zeros per row (0 for absorbing rows)."""
+        return self._row_nnz
+
+    @property
+    def norm_inf_b(self) -> float:
+        """``||B||_inf = max_s sum_u |B_{su}|`` of the iteration matrix."""
+        return float(self._row_abs_sum.max()) if self._n else 0.0
 
     def is_absorbing(self, states: np.ndarray) -> np.ndarray:
         """Boolean mask of states that terminate a walk."""
@@ -237,6 +292,7 @@ class WalkEngine:
         truncated_weight = 0
         truncated_length = 0
         absorbed = 0
+        exploded_count = 0
 
         active = ~self._table.is_absorbing(states)
         absorbed += int(np.count_nonzero(~active))
@@ -258,18 +314,22 @@ class WalkEngine:
                       (walk_row[active_indices], next_states),
                       new_weights)
 
-            # Decide which walks keep going.
+            # Decide which walks keep going.  Termination attribution follows
+            # the documented priority order absorbed > exploded >
+            # truncated_by_weight so the categories stay mutually exclusive.
             abs_weights = np.abs(new_weights)
             below_cutoff = abs_weights < self._weight_cutoff
             exploded = abs_weights > self.WEIGHT_EXPLOSION_CAP
             now_absorbing = self._table.is_absorbing(next_states)
             keep = ~(below_cutoff | now_absorbing | exploded)
-            truncated_weight += int(np.count_nonzero(below_cutoff))
-            absorbed += int(np.count_nonzero(now_absorbing & ~below_cutoff))
-            truncated_length += int(np.count_nonzero(exploded & ~below_cutoff
-                                                     & ~now_absorbing))
+            absorbed += int(np.count_nonzero(now_absorbing))
+            exploded_count += int(np.count_nonzero(exploded & ~now_absorbing))
+            truncated_weight += int(np.count_nonzero(below_cutoff
+                                                     & ~now_absorbing
+                                                     & ~exploded))
             active_indices = active_indices[keep]
 
+        # Walks surviving to the step cap were truncated by length.
         truncated_length += int(active_indices.size)
 
         estimates /= float(chains_per_row)
@@ -288,5 +348,7 @@ class WalkEngine:
             truncated_by_weight=truncated_weight,
             truncated_by_length=truncated_length,
             absorbed=absorbed,
+            exploded=exploded_count,
+            still_active=0,
         )
         return estimates, statistics

@@ -17,6 +17,7 @@ import scipy.sparse as sp
 from repro.exceptions import PreconditionerError
 from repro.precond.base import MatrixPreconditioner
 from repro.sparse.csr import ensure_csr, validate_square
+from repro.sparse.topk import row_topk_mask
 
 __all__ = ["SPAIPreconditioner"]
 
@@ -67,24 +68,70 @@ class SPAIPreconditioner(MatrixPreconditioner):
         The sparsity pattern of ``M`` is taken from ``A^pattern_power``
         (1 = pattern of ``A``; 2 adds one level of fill and is noticeably more
         accurate at a quadratic cost in the pattern size).
+    pattern_cap:
+        Optional upper bound on the pattern size per column of ``M``.  Higher
+        powers can fill in quickly; the cap keeps, per column, only the
+        positions with the largest ``|A|^pattern_power`` weight (via the
+        shared :func:`~repro.sparse.topk.row_topk_mask` kernel), bounding the
+        cost of the least-squares solves.
     """
 
-    def __init__(self, matrix: sp.spmatrix, *, pattern_power: int = 1) -> None:
+    def __init__(self, matrix: sp.spmatrix, *, pattern_power: int = 1,
+                 pattern_cap: int | None = None) -> None:
         if pattern_power < 1:
             raise PreconditionerError(
                 f"pattern_power must be >= 1, got {pattern_power}")
+        if pattern_cap is not None and pattern_cap < 1:
+            raise PreconditionerError(
+                f"pattern_cap must be >= 1, got {pattern_cap}")
         csr = validate_square(matrix)
-        pattern = csr.copy()
-        pattern.data = np.ones_like(pattern.data)
-        accumulated = pattern
+        # Powers of |A| carry the same sparsity pattern as the binarised
+        # products (non-negative entries cannot cancel symbolically) while
+        # also providing the magnitudes the per-column cap selects by.  The
+        # structural pattern must not depend on scaling, so the magnitudes
+        # are normalised and floored to 1e-150 before every product: any
+        # pairwise product of floored entries then stays a normal float, so
+        # no pattern position can underflow to an exact zero and be dropped
+        # by the sparse matmul or ``eliminate_zeros``.
+        floor = 1e-150
+        magnitude = ensure_csr(abs(csr))
+        if magnitude.nnz:
+            magnitude.data /= magnitude.data.max()
+            np.maximum(magnitude.data, floor, out=magnitude.data)
+        accumulated = magnitude.copy()
         for _ in range(pattern_power - 1):
-            accumulated = (accumulated @ pattern).tocsr()
-            accumulated.data = np.ones_like(accumulated.data)
-        approximate_inverse = _spai_static(csr, ensure_csr(accumulated))
+            accumulated = ensure_csr((accumulated @ magnitude).tocsr())
+            if accumulated.nnz:
+                np.maximum(accumulated.data, floor, out=accumulated.data)
+        if pattern_cap is not None:
+            csc = accumulated.tocsc()
+            budgets = np.full(csc.shape[1], pattern_cap, dtype=np.int64)
+            # CSC arrays are structurally CSR arrays of the transpose, so the
+            # row-top-k kernel caps per *column* here.
+            mask = row_topk_mask(csc.data, csc.indptr, budgets)
+            csc.data = np.where(mask, csc.data, 0.0)
+            csc.eliminate_zeros()
+            accumulated = ensure_csr(csc.tocsr())
+        pattern = accumulated.copy()
+        pattern.data = np.ones_like(pattern.data)
+        pattern = ensure_csr(pattern)
+        approximate_inverse = _spai_static(csr, pattern)
         super().__init__(approximate_inverse, name="SPAIPreconditioner")
         self._pattern_power = pattern_power
+        self._pattern_cap = pattern_cap
+        self._pattern_nnz = int(pattern.nnz)
 
     @property
     def pattern_power(self) -> int:
         """Power of ``A`` whose pattern constrains the approximate inverse."""
         return self._pattern_power
+
+    @property
+    def pattern_cap(self) -> int | None:
+        """Maximum retained pattern entries per column (``None`` = no cap)."""
+        return self._pattern_cap
+
+    @property
+    def pattern_nnz(self) -> int:
+        """Size of the sparsity pattern the least-squares solves were run on."""
+        return self._pattern_nnz

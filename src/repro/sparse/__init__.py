@@ -13,6 +13,8 @@ Public surface
 ``sparsity``, ``fill_factor``, ``drop_small_entries``, ``truncate_to_fill_factor``,
 ``row_sums_abs``  (``repro.sparse.csr``)
 
+``row_topk_mask``, ``enforce_total_budget``  (``repro.sparse.topk``)
+
 ``norm_1``, ``norm_inf``, ``norm_fro``, ``spectral_radius``, ``norm_2_estimate``,
 ``condition_number``, ``condition_number_estimate``  (``repro.sparse.norms``)
 
@@ -33,6 +35,10 @@ from repro.sparse.csr import (
     truncate_to_fill_factor,
     random_sparse,
 )
+from repro.sparse.topk import (
+    row_topk_mask,
+    enforce_total_budget,
+)
 from repro.sparse.norms import (
     norm_1,
     norm_inf,
@@ -46,6 +52,7 @@ from repro.sparse.splitting import (
     SplittingResult,
     jacobi_splitting,
     perturb_diagonal,
+    perturbed_diagonal,
     iteration_matrix,
     neumann_series_inverse,
 )
@@ -62,6 +69,8 @@ __all__ = [
     "drop_small_entries",
     "truncate_to_fill_factor",
     "random_sparse",
+    "row_topk_mask",
+    "enforce_total_budget",
     "norm_1",
     "norm_inf",
     "norm_fro",
@@ -72,6 +81,7 @@ __all__ = [
     "SplittingResult",
     "jacobi_splitting",
     "perturb_diagonal",
+    "perturbed_diagonal",
     "iteration_matrix",
     "neumann_series_inverse",
 ]

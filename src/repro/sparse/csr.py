@@ -17,6 +17,7 @@ import scipy.sparse as sp
 
 from repro.config import default_rng
 from repro.exceptions import MatrixFormatError
+from repro.sparse.topk import enforce_total_budget, row_topk_mask
 
 __all__ = [
     "ensure_csr",
@@ -160,7 +161,10 @@ def truncate_to_fill_factor(matrix: sp.spmatrix, target_fill: float) -> sp.csr_m
     The budget of retained non-zeros is distributed per row proportionally to
     the row's share of the matrix non-zeros (with at least one entry per
     non-empty row), mirroring how the reference MCMCMI implementation bounds
-    preconditioner memory to ``2 * phi(A)``.
+    preconditioner memory to ``2 * phi(A)``.  When the one-per-row floor
+    pushes the combined selection above the global budget, the overflow is
+    redistributed by dropping the smallest-magnitude retained entries, so the
+    result never exceeds ``target_fill``.
 
     Parameters
     ----------
@@ -184,26 +188,13 @@ def truncate_to_fill_factor(matrix: sp.spmatrix, target_fill: float) -> sp.csr_m
     budgets = np.maximum(np.floor(raw).astype(np.int64), (counts > 0).astype(np.int64))
     budgets = np.minimum(budgets, counts)
 
-    keep_mask = np.zeros(csr.nnz, dtype=bool)
-    data = csr.data
-    indptr = csr.indptr
-    for row in range(n_rows):
-        start, stop = indptr[row], indptr[row + 1]
-        k = int(budgets[row])
-        if k <= 0 or start == stop:
-            continue
-        segment = np.abs(data[start:stop])
-        if k >= segment.size:
-            keep_mask[start:stop] = True
-            continue
-        # Indices of the k largest magnitudes within the row.
-        top = np.argpartition(segment, segment.size - k)[segment.size - k:]
-        keep_mask[start + top] = True
+    keep_mask = row_topk_mask(csr.data, csr.indptr, budgets)
+    keep_mask = enforce_total_budget(csr.data, keep_mask, budget_total)
 
-    out = csr.copy()
-    out.data = np.where(keep_mask, out.data, 0.0)
-    out.eliminate_zeros()
-    return out
+    # ``csr`` is already a private copy; drop the unselected entries in place.
+    csr.data[~keep_mask] = 0.0
+    csr.eliminate_zeros()
+    return csr
 
 
 def random_sparse(n: int, density: float, *, seed: int | np.random.Generator | None = None,

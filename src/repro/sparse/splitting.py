@@ -35,6 +35,7 @@ from repro.sparse.norms import norm_inf, spectral_radius
 __all__ = [
     "SplittingResult",
     "perturb_diagonal",
+    "perturbed_diagonal",
     "jacobi_splitting",
     "iteration_matrix",
     "neumann_series_inverse",
@@ -88,13 +89,26 @@ class SplittingResult:
         return self.spectral_radius() < 1.0
 
 
+def _diagonal_boost(diag: np.ndarray) -> np.ndarray:
+    """Per-row perturbation magnitudes (zero diagonals fall back to the mean).
+
+    Rows whose diagonal entry is zero are perturbed using the mean absolute
+    diagonal instead, so that the subsequent Jacobi splitting remains well
+    defined; this mirrors the safeguards of practical MCMCMI implementations.
+    """
+    boost = diag.copy()
+    zero_rows = boost == 0.0
+    if zero_rows.any():
+        fallback = float(np.mean(np.abs(diag[~zero_rows]))) if (~zero_rows).any() else 1.0
+        boost[zero_rows] = fallback if fallback != 0.0 else 1.0
+    return boost
+
+
 def perturb_diagonal(matrix: sp.spmatrix, alpha: float) -> sp.csr_matrix:
     """Return ``A + alpha * diag(A)`` (the paper's matrix perturbation).
 
-    ``alpha = 0`` returns a copy of ``A``.  Rows whose diagonal entry is zero
-    are perturbed using the mean absolute diagonal instead, so that the
-    subsequent Jacobi splitting remains well defined; this mirrors the
-    safeguards of practical MCMCMI implementations.
+    ``alpha = 0`` returns a copy of ``A``; see :func:`_diagonal_boost` for the
+    zero-diagonal safeguard.
     """
     csr = validate_square(matrix)
     if alpha < 0:
@@ -102,13 +116,24 @@ def perturb_diagonal(matrix: sp.spmatrix, alpha: float) -> sp.csr_matrix:
     diag = csr.diagonal()
     if alpha == 0.0:
         return csr.copy()
-    boost = diag.copy()
-    zero_rows = boost == 0.0
-    if zero_rows.any():
-        fallback = float(np.mean(np.abs(diag[~zero_rows]))) if (~zero_rows).any() else 1.0
-        boost[zero_rows] = fallback if fallback != 0.0 else 1.0
-    perturbation = sp.diags(alpha * boost, format="csr")
+    perturbation = sp.diags(alpha * _diagonal_boost(diag), format="csr")
     return (csr + perturbation).tocsr()
+
+
+def perturbed_diagonal(matrix: sp.spmatrix, alpha: float) -> np.ndarray:
+    """Diagonal of ``A + alpha * diag(A)`` without forming the matrix.
+
+    Lets callers that already hold a pre-built transition table (which only
+    depends on the iteration matrix) obtain the ``D^{-1}`` column scaling
+    without re-running the full Jacobi splitting.
+    """
+    csr = validate_square(matrix)
+    if alpha < 0:
+        raise MatrixFormatError(f"alpha must be non-negative, got {alpha}")
+    diag = np.asarray(csr.diagonal(), dtype=np.float64)
+    if alpha == 0.0:
+        return diag
+    return diag + alpha * _diagonal_boost(diag)
 
 
 def jacobi_splitting(matrix: sp.spmatrix, alpha: float = 0.0, *,

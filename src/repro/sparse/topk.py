@@ -1,0 +1,160 @@
+"""Vectorised per-row top-k selection over CSR-like arrays.
+
+The fill-factor truncation of the MCMC preconditioner, the SPAI pattern cap
+and any future sparsification backend all need the same primitive: given the
+``data`` / ``indptr`` arrays of a CSR matrix and a per-row budget, keep the
+``budget[row]`` largest-magnitude entries of every row — without a per-row
+Python loop, which is what makes truncation viable at paper scale.
+
+Two kernels implement the primitive:
+
+* a *padded* kernel that scatters ``|data|`` into an ``(n_rows, width)``
+  array, sorts each row with one ``np.sort(axis=1)`` call and keeps entries
+  above the per-row k-th-largest threshold (ties resolved towards the entry
+  appearing first in the row);
+* a *lexsort* kernel that sorts ``(row, -|value|)`` keys globally, used as a
+  fallback when a few very wide rows would make the padded layout
+  memory-hungry.
+
+Both are deterministic and break magnitude ties towards the entry that
+appears first in the row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MatrixFormatError
+
+__all__ = ["row_topk_mask", "enforce_total_budget"]
+
+#: The padded kernel is used while ``n_rows * max_row_nnz`` stays within this
+#: multiple of ``nnz`` (or within the absolute floor below); beyond that the
+#: row-width skew makes the padded layout wasteful and the lexsort kernel
+#: takes over.
+_PADDED_OVERHEAD_LIMIT = 8
+_PADDED_ABSOLUTE_FLOOR = 1 << 20
+
+
+def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Exact per-row sums of an integer/boolean array (empty rows give 0)."""
+    prefix = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return prefix[indptr[1:]] - prefix[indptr[:-1]]
+
+
+def _topk_padded(abs_data: np.ndarray, indptr: np.ndarray, counts: np.ndarray,
+                 budgets: np.ndarray, width: int) -> np.ndarray:
+    """Padded-row kernel: per-row sort + k-th-largest threshold + tie repair."""
+    n_rows = counts.size
+    nnz = abs_data.size
+    shifts = np.arange(n_rows, dtype=np.int64) * width - indptr[:-1]
+    flat = np.arange(nnz, dtype=np.int64) + np.repeat(shifts, counts)
+
+    padded = np.full(n_rows * width, -np.inf)
+    padded[flat] = abs_data
+    row_sorted = np.sort(padded.reshape(n_rows, width), axis=1)
+
+    effective = np.minimum(budgets, counts)
+    valid = effective > 0
+    kth = np.full(n_rows, np.inf)
+    kth[valid] = row_sorted[np.flatnonzero(valid),
+                            width - effective[valid]]
+    keep = abs_data >= np.repeat(kth, counts)
+
+    # Magnitude ties at the threshold can push a row above its budget; drop
+    # the *last* tied entries so the first-in-row ones win (stable semantics).
+    excess = _segment_sums(keep, indptr) - effective
+    if np.any(excess > 0):
+        tied = keep & (abs_data == np.repeat(kth, counts))
+        cum_tied = np.cumsum(tied, dtype=np.int64)
+        prefix = np.concatenate(([0], cum_tied))
+        # 1-based occurrence number of each tied entry within its row.
+        tie_rank = cum_tied - np.repeat(prefix[indptr[:-1]], counts)
+        tie_quota = _segment_sums(tied, indptr) - excess
+        keep &= ~tied | (tie_rank <= np.repeat(tie_quota, counts))
+    return keep
+
+
+def _topk_lexsort(abs_data: np.ndarray, indptr: np.ndarray, counts: np.ndarray,
+                  budgets: np.ndarray) -> np.ndarray:
+    """Global-sort kernel over (row asc, |value| desc) keys."""
+    nnz = abs_data.size
+    n_rows = counts.size
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+    # Stable sort: within each row the largest magnitudes come first and
+    # equal magnitudes keep their original order.
+    order = np.lexsort((-abs_data, rows))
+    rank_in_row = np.arange(nnz, dtype=np.int64) - np.repeat(indptr[:-1], counts)
+    keep_sorted = rank_in_row < np.repeat(budgets, counts)
+    mask = np.zeros(nnz, dtype=bool)
+    mask[order] = keep_sorted
+    return mask
+
+
+def row_topk_mask(data: np.ndarray, indptr: np.ndarray,
+                  budgets: np.ndarray) -> np.ndarray:
+    """Boolean mask keeping the ``budgets[row]`` largest ``|data|`` per row.
+
+    Parameters
+    ----------
+    data:
+        CSR ``data`` array (``nnz`` values).
+    indptr:
+        CSR row pointer of length ``n_rows + 1``.
+    budgets:
+        Non-negative integer budget per row; values larger than the row's
+        non-zero count simply keep the whole row.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean mask over ``data`` in the original CSR order.  Magnitude ties
+        are broken towards the entry that appears first in the row, so the
+        selection is deterministic.
+    """
+    data = np.asarray(data)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    budgets = np.asarray(budgets, dtype=np.int64)
+    n_rows = indptr.size - 1
+    if budgets.size != n_rows:
+        raise MatrixFormatError(
+            f"budgets has length {budgets.size}, expected {n_rows}")
+    if np.any(budgets < 0):
+        raise MatrixFormatError("budgets must be non-negative")
+    nnz = int(indptr[-1])
+    if data.size != nnz:
+        raise MatrixFormatError(
+            f"data has length {data.size}, expected nnz={nnz}")
+    if nnz == 0:
+        return np.zeros(0, dtype=bool)
+
+    counts = np.diff(indptr)
+    width = int(counts.max())
+    abs_data = np.abs(data)
+    padded_cells = n_rows * width
+    if padded_cells <= max(_PADDED_OVERHEAD_LIMIT * nnz, _PADDED_ABSOLUTE_FLOOR):
+        return _topk_padded(abs_data, indptr, counts, budgets, width)
+    return _topk_lexsort(abs_data, indptr, counts, budgets)
+
+
+def enforce_total_budget(data: np.ndarray, mask: np.ndarray,
+                         budget_total: int) -> np.ndarray:
+    """Trim ``mask`` so that at most ``budget_total`` entries stay selected.
+
+    When per-row floors (e.g. "at least one entry per non-empty row") push the
+    combined selection above the global budget, the overflow is redistributed
+    by dropping the smallest-magnitude *selected* entries, so the caller's
+    fill-factor guarantee holds unconditionally.  Returns a new mask; the
+    input is not modified.
+    """
+    if budget_total < 0:
+        raise MatrixFormatError(
+            f"budget_total must be non-negative, got {budget_total}")
+    kept = np.flatnonzero(mask)
+    excess = kept.size - int(budget_total)
+    if excess <= 0:
+        return mask
+    order = np.argsort(np.abs(np.asarray(data)[kept]), kind="stable")
+    trimmed = mask.copy()
+    trimmed[kept[order[:excess]]] = False
+    return trimmed

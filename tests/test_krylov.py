@@ -81,6 +81,34 @@ class TestGMRES:
         assert preconditioned.converged
         assert preconditioned.iterations < plain.iterations
 
+    def test_lucky_breakdown_without_convergence_not_reported_converged(self):
+        """A declared lucky breakdown must not override the residual check.
+
+        ``A = I + 1e-6 N`` with a huge right-hand side makes the relative
+        breakdown threshold (``1e-14 * residual_norm``) loose enough to fire
+        on the first Arnoldi step, while the recomputed true preconditioned
+        residual is still orders of magnitude above the tolerance.  The
+        historical code set ``converged = True`` in that state.
+        """
+        n = 4
+        nilpotent = sp.csr_matrix(np.eye(n, k=1))
+        matrix = sp.identity(n, format="csr") + 1e-6 * nilpotent
+        rhs = 1e10 * np.ones(n)
+        result = gmres(matrix, rhs, rtol=1e-10, maxiter=1)
+        assert result.iterations == 1
+        assert not result.converged
+        true_residual = np.linalg.norm(rhs - matrix @ result.solution)
+        assert true_residual > 1e-10 * np.linalg.norm(rhs)
+
+    def test_lucky_breakdown_with_convergence_still_converges(self):
+        """On ``A = I`` the first Arnoldi step breaks down *and* solves."""
+        matrix = sp.identity(5, format="csr")
+        rhs = np.arange(1.0, 6.0)
+        result = gmres(matrix, rhs, rtol=1e-10)
+        assert result.converged
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.solution, rhs, atol=1e-12)
+
 
 class TestBiCGStab:
     def test_solves_nonsymmetric_system(self, nonsym_system):
@@ -125,6 +153,54 @@ class TestCG:
         matrix, rhs, _ = spd_system
         result = cg(matrix, rhs, rtol=1e-10)
         assert result.iterations <= matrix.shape[0]
+
+    def test_breakdown_on_vanishing_m_inner_product(self):
+        """A preconditioner making ``(r, M r) = 0`` must trigger a breakdown.
+
+        The preconditioner returns the residual on the first application and a
+        vector orthogonal to the residual afterwards, so ``rz_new == 0`` on
+        the first iteration while the residual is still far from converged.
+        The historical check tested the *old* ``rz`` (never zero there) and
+        would run a useless extra iteration with ``beta = 0``.
+        """
+        matrix = sp.csr_matrix(np.diag([1.0, 3.0]))
+        rhs = np.array([1.0, 1.0])
+        calls = {"count": 0}
+
+        def preconditioner(residual):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                return residual.copy()
+            return np.array([-residual[1], residual[0]])
+
+        result = cg(matrix, rhs, preconditioner=preconditioner, rtol=1e-12)
+        assert result.breakdown
+        assert not result.converged
+        # The breakdown must be detected immediately, on the first iteration.
+        assert result.iterations == 1
+        assert result.final_residual > 1e-12 * np.linalg.norm(rhs)
+
+    def test_breakdown_on_vanishing_initial_m_inner_product(self):
+        """``(r0, M r0) == 0`` must report a breakdown, not divide by zero.
+
+        Here the *first* preconditioner application is orthogonal to the
+        residual (``rz == 0`` before the loop) and later ones are not, so
+        ``beta = rz_new / rz`` would divide by zero without the guard on the
+        old ``rz``.
+        """
+        matrix = sp.csr_matrix(np.diag([1.0, 3.0]))
+        rhs = np.array([1.0, 1.0])
+        calls = {"count": 0}
+
+        def preconditioner(residual):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                return np.array([-residual[1], residual[0]])
+            return residual.copy()
+
+        result = cg(matrix, rhs, preconditioner=preconditioner, rtol=1e-12)
+        assert result.breakdown
+        assert not result.converged
 
 
 class TestDispatcher:

@@ -74,6 +74,32 @@ class TestEstimateInverse:
         with pytest.raises(ParameterError):
             estimate_inverse(small_spd, params, fill_multiple=-1.0)
 
+    def test_prebuilt_transition_table_gives_identical_result(self, small_spd):
+        """A prebuilt table (eps/delta sweep reuse) must not change the result."""
+        from repro.mcmc import TransitionTable
+        from repro.sparse import jacobi_splitting
+
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.25)
+        table = TransitionTable(jacobi_splitting(small_spd, 1.0).iteration_matrix)
+        fresh = estimate_inverse(small_spd, params, seed=5)
+        reused = estimate_inverse(small_spd, params, seed=5,
+                                  transition_table=table)
+        assert (fresh != reused).nnz == 0
+        # The same table serves any eps/delta at this alpha.
+        other = MCMCParameters(alpha=1.0, eps=0.25, delta=0.5)
+        reused_other = estimate_inverse(small_spd, other, seed=5,
+                                        transition_table=table)
+        assert (reused_other != estimate_inverse(small_spd, other, seed=5)).nnz == 0
+
+    def test_prebuilt_table_dimension_mismatch(self, small_spd):
+        from repro.mcmc import TransitionTable
+        import scipy.sparse as sp
+
+        params = MCMCParameters(alpha=1.0, eps=0.5, delta=0.5)
+        wrong = TransitionTable(sp.identity(3, format="csr") * 0.5)
+        with pytest.raises(ParameterError):
+            estimate_inverse(small_spd, params, transition_table=wrong)
+
 
 class TestMCMCPreconditioner:
     def test_interface(self, small_spd, default_parameters):
@@ -118,6 +144,7 @@ class TestDiagnostics:
         profile = chain_length_profile(small_spd, default_parameters, sample_rows=10)
         expected = {"chains_per_row", "max_walk_length", "norm_inf_b", "mean_length",
                     "observed_max_length", "fraction_truncated_by_weight",
-                    "fraction_truncated_by_length", "fraction_absorbed"}
+                    "fraction_truncated_by_length", "fraction_absorbed",
+                    "fraction_exploded"}
         assert expected <= set(profile)
         assert profile["chains_per_row"] == default_parameters.num_chains()

@@ -60,6 +60,13 @@ class TestTransitionTable:
         np.testing.assert_allclose(TransitionTable(matrix).row_abs_sums, [2.0, 3.0])
 
 
+def _assert_category_totals(stats: WalkStatistics) -> None:
+    """The mutually exclusive termination categories must partition the walks."""
+    assert (stats.truncated_by_weight + stats.truncated_by_length
+            + stats.exploded + stats.absorbed + stats.still_active
+            ) == stats.n_walks
+
+
 class TestWalkStatistics:
     def test_merge(self):
         a = WalkStatistics(2, 10, 5.0, 7, 1, 0, 1)
@@ -72,8 +79,16 @@ class TestWalkStatistics:
         assert merged.truncated_by_weight == 1
         assert merged.truncated_by_length == 2
 
+    def test_merge_exploded_and_still_active(self):
+        a = WalkStatistics(3, 9, 3.0, 5, 0, 0, 1, exploded=2, still_active=0)
+        b = WalkStatistics(2, 4, 2.0, 3, 0, 0, 0, exploded=1, still_active=1)
+        merged = a.merge(b)
+        assert merged.exploded == 3
+        assert merged.still_active == 1
+        _assert_category_totals(merged)
+
     def test_empty_is_neutral(self):
-        stats = WalkStatistics(4, 8, 2.0, 3, 1, 1, 1)
+        stats = WalkStatistics(4, 8, 2.0, 3, 1, 1, 1, exploded=1, still_active=0)
         assert WalkStatistics.empty().merge(stats) == stats
 
 
@@ -153,3 +168,104 @@ class TestWalkEngine:
                                                 np.random.default_rng(0))
         assert estimates.shape == (0, small_spd.shape[0])
         assert stats.n_walks == 0
+
+
+class TestTerminationCategories:
+    """Mutual exclusivity and totals of the WalkStatistics categories."""
+
+    def test_absorbing_beats_weight_cutoff(self):
+        # The single transition lands on an absorbing row with weight 0.5,
+        # simultaneously below the 0.6 cutoff: absorption has priority.
+        b_matrix = sp.csr_matrix(np.array([[0.0, 0.5], [0.0, 0.0]]))
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=0.6,
+                            max_steps=10)
+        _, stats = engine.estimate_rows(np.array([0]), 4,
+                                        np.random.default_rng(0))
+        assert stats.absorbed == stats.n_walks == 4
+        assert stats.truncated_by_weight == 0
+        _assert_category_totals(stats)
+
+    def test_explosion_counted_separately(self):
+        # Divergent weights (3^k) explode long before the step cap; they must
+        # land in `exploded`, not in `truncated_by_length`.
+        b_matrix = sp.csr_matrix(np.array([[0.0, 3.0], [3.0, 0.0]]))
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=1e-8,
+                            max_steps=500)
+        _, stats = engine.estimate_rows(np.arange(2), 3,
+                                        np.random.default_rng(0))
+        assert stats.exploded == stats.n_walks == 6
+        assert stats.truncated_by_length == 0
+        _assert_category_totals(stats)
+
+    def test_step_cap_counts_as_length_truncation(self):
+        # weight_cutoff=0 never fires (strict comparison), the chain never
+        # absorbs: every walk must run to the cap and count as length-truncated.
+        b_matrix = sp.identity(4, format="csr") * 0.5
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=0.0,
+                            max_steps=5)
+        _, stats = engine.estimate_rows(np.arange(4), 2,
+                                        np.random.default_rng(0))
+        assert stats.truncated_by_length == stats.n_walks == 8
+        assert stats.max_length == 5
+        _assert_category_totals(stats)
+
+    def test_start_on_absorbing_row(self):
+        b_matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        engine = WalkEngine(TransitionTable(b_matrix), weight_cutoff=1e-3,
+                            max_steps=10)
+        _, stats = engine.estimate_rows(np.array([0]), 3,
+                                        np.random.default_rng(0))
+        assert stats.absorbed == stats.n_walks == 3
+        _assert_category_totals(stats)
+
+    @pytest.mark.parametrize("alpha,cutoff,max_steps", [
+        (1.0, 1e-3, 20), (2.0, 1e-6, 200), (0.5, 0.25, 3)])
+    def test_totals_partition_on_spd(self, small_spd, alpha, cutoff, max_steps):
+        _, _, engine = _engine_for(small_spd, alpha, weight_cutoff=cutoff,
+                                   max_steps=max_steps)
+        _, stats = engine.estimate_rows(np.arange(small_spd.shape[0]), 3,
+                                        np.random.default_rng(7))
+        assert stats.still_active == 0
+        _assert_category_totals(stats)
+
+
+class TestVectorisedTableEquivalence:
+    """The vectorised TransitionTable must match the seed loop construction."""
+
+    @pytest.mark.parametrize("seed,n,density", [(0, 30, 0.2), (1, 57, 0.1),
+                                                (2, 17, 0.9)])
+    def test_matches_loop_on_random_matrices(self, seed, n, density):
+        from repro.sparse.csr import random_sparse
+
+        matrix = random_sparse(n, density, seed=seed)
+        self._assert_equivalent(matrix)
+
+    def test_matches_loop_with_empty_rows(self):
+        dense = np.array([[0.0, 2.0, -1.0],
+                          [0.0, 0.0, 0.0],
+                          [0.5, 0.0, 0.0]])
+        self._assert_equivalent(sp.csr_matrix(dense))
+
+    def test_matches_loop_on_structured_matrix(self, small_spd):
+        split = jacobi_splitting(small_spd, 1.0)
+        self._assert_equivalent(split.iteration_matrix)
+
+    @staticmethod
+    def _assert_equivalent(matrix):
+        from repro.reference import LoopTransitionTable
+
+        table = TransitionTable(matrix)
+        reference = LoopTransitionTable(matrix)
+        np.testing.assert_allclose(table.row_abs_sums, reference._row_abs_sum,
+                                   rtol=1e-12, atol=0.0)
+        np.testing.assert_array_equal(table._row_nnz, reference._row_nnz)
+        np.testing.assert_array_equal(table._columns, reference._columns)
+        np.testing.assert_allclose(table._multiplier, reference._multiplier,
+                                   rtol=1e-12, atol=0.0)
+        # The inverse-CDF table is compared on the valid (non-padding) region:
+        # padding conventions differ and padding is never sampled.
+        width = table._cumprob.shape[1]
+        valid = np.arange(width)[None, :] < reference._row_nnz[:, None]
+        np.testing.assert_allclose(table._cumprob[valid],
+                                   reference._cumprob[valid],
+                                   rtol=0.0, atol=1e-12)

@@ -157,6 +157,40 @@ class TestSPAI:
         with pytest.raises(PreconditionerError):
             SPAIPreconditioner(small_spd, pattern_power=0)
 
+    def test_pattern_cap_bounds_columns(self, small_spd):
+        capped = SPAIPreconditioner(small_spd, pattern_power=2, pattern_cap=3)
+        assert capped.pattern_cap == 3
+        per_column = np.diff(capped.matrix.tocsc().indptr)
+        assert per_column.max() <= 3
+        # The capped preconditioner still has to work as one.
+        uncapped = SPAIPreconditioner(small_spd, pattern_power=2)
+        assert capped.nnz < uncapped.nnz
+
+    def test_pattern_cap_noop_when_loose(self, small_spd):
+        loose = SPAIPreconditioner(small_spd, pattern_cap=10_000)
+        plain = SPAIPreconditioner(small_spd)
+        assert (loose.matrix != plain.matrix).nnz == 0
+
+    def test_invalid_pattern_cap(self, small_spd):
+        with pytest.raises(PreconditionerError):
+            SPAIPreconditioner(small_spd, pattern_cap=0)
+
+    def test_pattern_structure_is_scale_invariant(self):
+        """Underflowing magnitude products must not drop pattern positions.
+
+        With ``A[0,1] = A[1,2] = 1e-200`` the only contribution to pattern
+        position (0, 2) at ``pattern_power=2`` is the product ``1e-400``,
+        which underflows to zero; structurally the position must survive, as
+        it does for the well-scaled version of the same matrix.
+        """
+        base = np.eye(4)
+        base[0, 1] = base[1, 2] = 1.0
+        tiny = base.copy()
+        tiny[0, 1] = tiny[1, 2] = 1e-200
+        spai_base = SPAIPreconditioner(sp.csr_matrix(base), pattern_power=2)
+        spai_tiny = SPAIPreconditioner(sp.csr_matrix(tiny), pattern_power=2)
+        assert spai_tiny.pattern_nnz == spai_base.pattern_nnz
+
     def test_works_for_nonsymmetric(self, small_nonsym):
         spai = SPAIPreconditioner(small_nonsym)
         result = gmres(small_nonsym, np.ones(small_nonsym.shape[0]),

@@ -131,6 +131,38 @@ class TestTruncateToFillFactor:
         with pytest.raises(MatrixFormatError):
             truncate_to_fill_factor(np.eye(3), 0.0)
 
+    def test_per_row_floor_never_exceeds_global_budget(self):
+        # 6 single-entry rows but a budget of 3: the historical "at least one
+        # entry per non-empty row" floor would keep 6; the overflow must be
+        # redistributed by dropping the smallest magnitudes.
+        n = 6
+        matrix = sp.diags(np.array([6.0, 5.0, 1.0, 4.0, 2.0, 3.0])).tocsr()
+        target = 3.0 / (n * n)
+        truncated = truncate_to_fill_factor(matrix, target)
+        assert truncated.nnz == 3
+        np.testing.assert_allclose(np.sort(np.abs(truncated.data)),
+                                   [4.0, 5.0, 6.0])
+
+    def test_matches_seed_loop_selection(self):
+        """Equivalence with the seed per-row argpartition loop."""
+        from repro.reference import loop_truncate_to_fill_factor
+
+        for seed, n, density, ratio in [(0, 40, 0.3, 0.5), (1, 25, 0.8, 0.25),
+                                        (2, 60, 0.1, 0.6)]:
+            matrix = random_sparse(n, density, seed=seed)
+            target = ratio * matrix.nnz / (n * n)
+            reference = loop_truncate_to_fill_factor(matrix, target)
+            vectorised = truncate_to_fill_factor(matrix, target)
+            budget_total = int(np.floor(target * n * n))
+            # The vectorised result additionally enforces the global budget;
+            # when the seed loop already respected it the outputs are equal,
+            # otherwise the vectorised selection is a trimmed subset.
+            assert vectorised.nnz == min(reference.nnz, budget_total)
+            difference = (reference - vectorised).tocsr()
+            difference.eliminate_zeros()
+            overlap_mismatch = reference.nnz - vectorised.nnz
+            assert difference.nnz <= overlap_mismatch
+
 
 class TestRandomSparse:
     def test_shape_and_determinism(self):
@@ -158,14 +190,14 @@ class TestRandomSparse:
        density=st.floats(min_value=0.05, max_value=0.9),
        target=st.floats(min_value=0.05, max_value=1.0))
 def test_truncation_never_increases_nnz_property(n, density, target):
-    """Property: truncation never adds entries and respects the budget."""
+    """Property: truncation never adds entries and the budget is strict."""
     matrix = random_sparse(n, density, seed=n)
     truncated = truncate_to_fill_factor(matrix, target)
     assert truncated.nnz <= matrix.nnz
     budget = int(np.floor(target * n * n))
-    if matrix.nnz > budget:
-        # Allowed slack: one entry per non-empty row is always kept.
-        assert truncated.nnz <= max(budget, n)
+    # No slack: the per-row floor overflow is redistributed, so the global
+    # budget is a hard guarantee.
+    assert truncated.nnz <= budget
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,143 @@
+"""Tests for the shared per-row top-k kernel (repro.sparse.topk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MatrixFormatError
+from repro.sparse.csr import ensure_csr, random_sparse
+from repro.sparse.topk import (
+    _topk_lexsort,
+    _topk_padded,
+    enforce_total_budget,
+    row_topk_mask,
+)
+
+
+def _reference_topk(data, indptr, budgets):
+    """Per-row oracle using a plain sort."""
+    mask = np.zeros(len(data), dtype=bool)
+    for row in range(len(indptr) - 1):
+        start, stop = indptr[row], indptr[row + 1]
+        k = min(int(budgets[row]), stop - start)
+        if k <= 0:
+            continue
+        segment = np.abs(data[start:stop])
+        # Stable: sort by (-|value|, position); keep the first k.
+        order = sorted(range(stop - start), key=lambda i: (-segment[i], i))
+        for i in order[:k]:
+            mask[start + i] = True
+    return mask
+
+
+def _random_csr_arrays(rng, *, ties=False):
+    n = int(rng.integers(1, 15))
+    counts = rng.integers(0, 8, n)
+    values = rng.standard_normal(int(counts.sum()))
+    if ties:
+        values = np.round(values * 2) / 2
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    budgets = rng.integers(0, 9, n)
+    return values, indptr, budgets
+
+
+class TestRowTopkMask:
+    def test_matches_oracle_randomised(self):
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            data, indptr, budgets = _random_csr_arrays(rng)
+            np.testing.assert_array_equal(
+                row_topk_mask(data, indptr, budgets),
+                _reference_topk(data, indptr, budgets))
+
+    def test_ties_kept_first_in_row(self):
+        data = np.array([2.0, -2.0, 2.0, 1.0])
+        indptr = np.array([0, 4])
+        mask = row_topk_mask(data, indptr, np.array([2]))
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    def test_kernels_agree_with_ties(self):
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            data, indptr, budgets = _random_csr_arrays(rng, ties=True)
+            if data.size == 0:
+                continue
+            counts = np.diff(indptr)
+            width = int(counts.max())
+            if width == 0:
+                continue
+            padded = _topk_padded(np.abs(data), indptr, counts, budgets, width)
+            lexed = _topk_lexsort(np.abs(data), indptr, counts, budgets)
+            np.testing.assert_array_equal(padded, lexed)
+
+    def test_lexsort_fallback_on_skewed_rows(self):
+        # One very wide row among many empty ones forces the fallback branch.
+        n = 5000
+        wide = np.arange(1.0, 401.0)
+        data = wide
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = wide.size
+        budgets = np.zeros(n, dtype=np.int64)
+        budgets[0] = 10
+        mask = row_topk_mask(data, indptr, budgets)
+        assert mask.sum() == 10
+        np.testing.assert_allclose(np.sort(data[mask]), wide[-10:])
+
+    def test_budget_exceeding_row_count_keeps_row(self):
+        data = np.array([1.0, -2.0, 3.0])
+        indptr = np.array([0, 3])
+        mask = row_topk_mask(data, indptr, np.array([99]))
+        assert mask.all()
+
+    def test_empty_input(self):
+        mask = row_topk_mask(np.empty(0), np.zeros(4, dtype=np.int64),
+                             np.zeros(3, dtype=np.int64))
+        assert mask.size == 0
+
+    def test_validation(self):
+        data = np.array([1.0, 2.0])
+        indptr = np.array([0, 2])
+        with pytest.raises(MatrixFormatError):
+            row_topk_mask(data, indptr, np.array([1, 1]))
+        with pytest.raises(MatrixFormatError):
+            row_topk_mask(data, indptr, np.array([-1]))
+        with pytest.raises(MatrixFormatError):
+            row_topk_mask(np.array([1.0]), indptr, np.array([1]))
+
+    def test_on_real_csr_matrix(self):
+        matrix = ensure_csr(random_sparse(30, 0.3, seed=3))
+        counts = np.diff(matrix.indptr)
+        budgets = np.minimum(counts, 2)
+        mask = row_topk_mask(matrix.data, matrix.indptr, budgets)
+        np.testing.assert_array_equal(
+            mask, _reference_topk(matrix.data, matrix.indptr, budgets))
+
+
+class TestEnforceTotalBudget:
+    def test_noop_within_budget(self):
+        data = np.array([3.0, 1.0, 2.0])
+        mask = np.array([True, False, True])
+        out = enforce_total_budget(data, mask, 2)
+        np.testing.assert_array_equal(out, mask)
+
+    def test_drops_smallest_selected(self):
+        data = np.array([3.0, 1.0, -2.0, 0.5])
+        mask = np.array([True, True, True, True])
+        out = enforce_total_budget(data, mask, 2)
+        np.testing.assert_array_equal(out, [True, False, True, False])
+
+    def test_does_not_mutate_input(self):
+        data = np.array([3.0, 1.0])
+        mask = np.array([True, True])
+        enforce_total_budget(data, mask, 1)
+        assert mask.all()
+
+    def test_zero_budget_clears_selection(self):
+        data = np.array([3.0, 1.0])
+        out = enforce_total_budget(data, np.array([True, True]), 0)
+        assert not out.any()
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(MatrixFormatError):
+            enforce_total_budget(np.array([1.0]), np.array([True]), -1)
