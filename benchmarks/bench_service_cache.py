@@ -1,0 +1,146 @@
+"""Micro-benchmark: cold vs warm paths of the tuning-service subsystem.
+
+Two scenarios, both asserting correctness alongside the timing gate:
+
+* **Shared transition tables** — two :class:`MatrixEvaluator`\\ s over the
+  same matrix share one :class:`~repro.mcmc.walks.TransitionTable` build via
+  the :class:`~repro.service.cache.ArtifactCache`; the second evaluator's
+  lookup must be a counted cache *hit* and far cheaper than the build.
+* **Durable observations** — re-requesting a measurement already persisted in
+  an :class:`~repro.service.store.ObservationStore` must serve the stored
+  record (identical values) without touching the solver, far cheaper than
+  measuring.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_service_cache.py``) or
+through pytest.  When run directly the measured numbers are written as JSON
+(for the CI artifact) to ``BENCH_SERVICE_CACHE_JSON`` (default
+``bench_service_cache.json``).  ``SERVICE_CACHE_REQUIRED_SPEEDUP`` overrides
+the warm-vs-cold gate (CI uses a lower bar to tolerate shared-runner noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.core.evaluation import MatrixEvaluator, SolverSettings
+from repro.mcmc.parameters import MCMCParameters
+from repro.service.cache import ArtifactCache
+from repro.service.store import ObservationStore
+from repro.sparse.csr import random_sparse
+
+#: Benchmark matrix: large enough that a TransitionTable build and a full
+#: measurement dominate the cache/store lookups by orders of magnitude.
+BENCH_N = 3_000
+BENCH_DENSITY = 0.002
+REQUIRED_SPEEDUP = float(os.environ.get("SERVICE_CACHE_REQUIRED_SPEEDUP", "5"))
+
+_SETTINGS = SolverSettings(rtol=1e-8, maxiter=300)
+_PARAMETERS = MCMCParameters(alpha=2.0, eps=1.0, delta=0.5)
+
+
+def _bench_matrix():
+    return random_sparse(BENCH_N, BENCH_DENSITY, seed=0, diag_boost=4.0)
+
+
+def bench_shared_transition_table() -> dict:
+    """Cold build in evaluator A vs warm cache hit in evaluator B."""
+    matrix = _bench_matrix()
+    cache = ArtifactCache(max_entries=8)
+    first = MatrixEvaluator(matrix, "bench-a", settings=_SETTINGS,
+                            seed=0, cache=cache)
+    second = MatrixEvaluator(matrix, "bench-b", settings=_SETTINGS,
+                             seed=1, cache=cache)
+
+    start = time.perf_counter()
+    table_cold = first._transition_table(_PARAMETERS.alpha)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    table_warm = second._transition_table(_PARAMETERS.alpha)
+    warm = time.perf_counter() - start
+
+    assert table_warm is table_cold, "evaluators did not share the build"
+    assert cache.stats.builds == 1, f"expected 1 build, got {cache.stats.builds}"
+    assert cache.stats.hits >= 1, "warm lookup was not a counted cache hit"
+    return {
+        "n": BENCH_N,
+        "cold_build_s": cold,
+        "warm_hit_s": warm,
+        "speedup": cold / max(warm, 1e-9),
+        "cache_stats": cache.stats.as_dict(),
+    }
+
+
+def bench_store_replay() -> dict:
+    """Cold measurement vs warm replay of the stored observation."""
+    matrix = _bench_matrix()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ObservationStore(tmp)
+        evaluator = MatrixEvaluator(matrix, "bench", settings=_SETTINGS,
+                                    seed=0, cache=ArtifactCache(max_entries=8),
+                                    store=store)
+        start = time.perf_counter()
+        measured = evaluator.evaluate(_PARAMETERS, n_replications=1)
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        replayed = evaluator.evaluate(_PARAMETERS, n_replications=1)
+        warm = time.perf_counter() - start
+
+        assert replayed.y_values == measured.y_values, \
+            "stored replay diverged from the measurement"
+        assert len(store) == 1
+    return {
+        "n": BENCH_N,
+        "cold_measure_s": cold,
+        "warm_replay_s": warm,
+        "speedup": cold / max(warm, 1e-9),
+    }
+
+
+def test_transition_table_cache_hit():
+    """Warm evaluator must hit the shared cache and beat the cold build."""
+    result = bench_shared_transition_table()
+    print(f"\nTransitionTable (n={result['n']}): "
+          f"cold {result['cold_build_s'] * 1e3:.1f} ms, "
+          f"warm {result['warm_hit_s'] * 1e3:.3f} ms "
+          f"-> {result['speedup']:.0f}x")
+    assert result["speedup"] >= REQUIRED_SPEEDUP, (
+        f"warm cache hit only {result['speedup']:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+def test_store_replay_speedup():
+    """Serving a stored observation must beat re-measuring it."""
+    result = bench_store_replay()
+    print(f"\nObservationStore (n={result['n']}): "
+          f"measure {result['cold_measure_s'] * 1e3:.1f} ms, "
+          f"replay {result['warm_replay_s'] * 1e3:.3f} ms "
+          f"-> {result['speedup']:.0f}x")
+    assert result["speedup"] >= REQUIRED_SPEEDUP, (
+        f"store replay only {result['speedup']:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+def main() -> None:
+    results = {
+        "transition_table_cache": bench_shared_transition_table(),
+        "observation_store": bench_store_replay(),
+    }
+    for name, metrics in results.items():
+        print(f"{name}: {json.dumps(metrics, indent=2)}")
+    out_path = os.environ.get("BENCH_SERVICE_CACHE_JSON",
+                              "bench_service_cache.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {out_path}")
+    for name, metrics in results.items():
+        assert metrics["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{name}: {metrics['speedup']:.1f}x < required {REQUIRED_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,11 +12,13 @@ kernels and checks, on a 10k-row random sparse matrix, that
 Run directly (``PYTHONPATH=src python benchmarks/bench_walk_table.py``) or
 through pytest.  ``WALK_TABLE_REQUIRED_SPEEDUP`` overrides the gate (CI uses
 a lower bar to tolerate shared-runner noise; the 10x paper-scale claim is
-asserted at the default).
+asserted at the default).  When run directly with ``WALK_TABLE_JSON`` set,
+the measured numbers are additionally written there as JSON (CI artifact).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -46,8 +48,8 @@ def _bench_matrix():
     return random_sparse(BENCH_N, BENCH_DENSITY, seed=0)
 
 
-def test_transition_table_speedup():
-    """Vectorised TransitionTable build must beat the seed loop by >= 10x."""
+def bench_transition_table() -> dict:
+    """Timings + equivalence checks of the TransitionTable build (no gate)."""
     matrix = _bench_matrix()
     loop_time = _best_time(lambda: LoopTransitionTable(matrix))
     vector_time = _best_time(lambda: TransitionTable(matrix))
@@ -72,13 +74,20 @@ def test_transition_table_speedup():
     print(f"\nTransitionTable build (n={BENCH_N}): "
           f"loop {loop_time * 1e3:.1f} ms, vectorised {vector_time * 1e3:.1f} ms "
           f"-> {speedup:.1f}x")
+    return {"n": BENCH_N, "loop_s": loop_time, "vectorised_s": vector_time,
+            "speedup": speedup}
+
+
+def test_transition_table_speedup():
+    """Vectorised TransitionTable build must beat the seed loop by >= 10x."""
+    speedup = bench_transition_table()["speedup"]
     assert speedup >= REQUIRED_SPEEDUP, (
         f"vectorised TransitionTable only {speedup:.1f}x faster "
         f"(required {REQUIRED_SPEEDUP}x)")
 
 
-def test_truncate_to_fill_factor_speedup():
-    """Vectorised row-top-k truncation must beat the seed loop by >= 10x."""
+def bench_truncation() -> dict:
+    """Timings + equivalence checks of the fill-factor truncation (no gate)."""
     matrix = _bench_matrix()
     target = 0.5 * matrix.nnz / (BENCH_N * BENCH_N)
     loop_time = _best_time(lambda: loop_truncate_to_fill_factor(matrix, target))
@@ -95,11 +104,26 @@ def test_truncate_to_fill_factor_speedup():
     print(f"\ntruncate_to_fill_factor (n={BENCH_N}): "
           f"loop {loop_time * 1e3:.1f} ms, vectorised {vector_time * 1e3:.1f} ms "
           f"-> {speedup:.1f}x")
+    return {"n": BENCH_N, "loop_s": loop_time, "vectorised_s": vector_time,
+            "speedup": speedup}
+
+
+def test_truncate_to_fill_factor_speedup():
+    """Vectorised row-top-k truncation must beat the seed loop by >= 10x."""
+    speedup = bench_truncation()["speedup"]
     assert speedup >= REQUIRED_SPEEDUP, (
         f"vectorised truncation only {speedup:.1f}x faster "
         f"(required {REQUIRED_SPEEDUP}x)")
 
 
 if __name__ == "__main__":
-    test_transition_table_speedup()
-    test_truncate_to_fill_factor_speedup()
+    results = {"transition_table": bench_transition_table(),
+               "truncate_to_fill_factor": bench_truncation()}
+    json_path = os.environ.get("WALK_TABLE_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {json_path}")
+    for name, metrics in results.items():
+        assert metrics["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{name}: {metrics['speedup']:.1f}x < required {REQUIRED_SPEEDUP}x")

@@ -1,0 +1,70 @@
+"""Batch tuning through the service layer: durable store + shared cache.
+
+Submits a batch of tuning requests over three matrices, then re-submits the
+same batch to show that the second pass is served entirely from the on-disk
+:class:`~repro.service.store.ObservationStore` (zero fresh measurements), and
+that a *new* matrix warm-starts from its nearest stored neighbour.
+
+Run with ``PYTHONPATH=src python examples/tuning_service.py [store_dir]``.
+The store directory persists between invocations — run the example twice and
+the first pass is already free.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.core.evaluation import SolverSettings
+from repro.matrices import laplacian_2d, pdd_real_sparse
+from repro.service import ArtifactCache, TuningRequest, TuningService
+
+
+def main() -> None:
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-tuning-store-")
+    cache = ArtifactCache(max_entries=16)
+    service = TuningService(store_dir, cache=cache,
+                            settings=SolverSettings(rtol=1e-8, maxiter=400))
+    print(f"observation store: {store_dir}")
+
+    requests = [
+        TuningRequest(matrix=laplacian_2d(12), name="laplace_12",
+                      budget=4, n_replications=2, seed=0),
+        TuningRequest(matrix=laplacian_2d(16), name="laplace_16",
+                      budget=4, n_replications=2, seed=1),
+        TuningRequest(matrix=pdd_real_sparse(64, density=0.1, dominance=2.0,
+                                             seed=2),
+                      name="pdd_64", budget=4, n_replications=2, seed=2),
+    ]
+
+    print("\n-- first pass (cold store) --")
+    for result in service.tune_batch(requests):
+        rec = result.recommendation
+        print(f"{result.name:12s}  measured={result.measurements}  "
+              f"reused={result.reused_observations}  "
+              f"best y={rec.y_mean:.3f}  ({rec.parameters.describe()})  "
+              f"origin={rec.origin}")
+
+    print("\n-- second pass (warm store: identical batch) --")
+    for result in service.tune_batch(requests):
+        rec = result.recommendation
+        print(f"{result.name:12s}  measured={result.measurements}  "
+              f"reused={result.reused_observations}  best y={rec.y_mean:.3f}")
+
+    print("\n-- unseen matrix (warm-started from the nearest neighbour) --")
+    [result] = service.tune_batch([
+        TuningRequest(matrix=laplacian_2d(14), name="laplace_14",
+                      budget=3, n_replications=2, seed=3)])
+    rec = result.recommendation
+    print(f"{result.name:12s}  measured={result.measurements}  "
+          f"neighbour={rec.neighbour_name} "
+          f"(distance {rec.neighbour_distance:.2f})  "
+          f"best y={rec.y_mean:.3f}  origin={rec.origin}")
+
+    print(f"\nshared cache: {cache.stats.as_dict()}")
+    print(f"store now holds {len(service.store)} observations")
+
+
+if __name__ == "__main__":
+    main()

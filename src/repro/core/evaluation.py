@@ -11,6 +11,7 @@ per configuration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -24,7 +25,12 @@ from repro.mcmc.preconditioner import MCMCPreconditioner
 from repro.mcmc.walks import TransitionTable
 from repro.parallel.executor import Executor
 from repro.sparse.csr import validate_square
+from repro.sparse.fingerprint import content_hash, matrix_fingerprint
 from repro.sparse.splitting import jacobi_splitting
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.service.cache import ArtifactCache
+    from repro.service.store import ObservationStore
 
 __all__ = [
     "SolverSettings",
@@ -129,13 +135,27 @@ class MatrixEvaluator:
         independent stream derived from ``(seed, i, r)``.
     executor:
         Optional executor forwarded to the MCMC preconditioner builds.
+    cache:
+        :class:`~repro.service.cache.ArtifactCache` holding the per-``alpha``
+        :class:`TransitionTable` builds.  Defaults to the process-wide
+        :func:`~repro.service.cache.global_cache`, so every evaluator over
+        the same matrix content (keyed by fingerprint) shares one build.
+    store:
+        Optional :class:`~repro.service.store.ObservationStore`.  When set,
+        :meth:`evaluate` first looks the exact measurement up in the store
+        (same matrix content, parameters, settings, seed, replication count
+        and candidate index — everything the measurement deterministically
+        depends on) and returns the stored record instead of re-measuring;
+        fresh measurements are persisted on completion.
     """
 
     def __init__(self, matrix: sp.spmatrix, name: str, *,
                  settings: SolverSettings | None = None,
                  rhs: np.ndarray | None = None,
                  seed: int = 0,
-                 executor: Executor | None = None) -> None:
+                 executor: Executor | None = None,
+                 cache: "ArtifactCache | None" = None,
+                 store: "ObservationStore | None" = None) -> None:
         self.matrix = validate_square(matrix)
         self.name = name
         self.settings = settings if settings is not None else SolverSettings()
@@ -147,9 +167,23 @@ class MatrixEvaluator:
                 f"dimension {self.matrix.shape[0]}")
         self.seed = int(seed)
         self.executor = executor
+        self.store = store
+        self._cache = cache
         self._baseline_cache: dict[str, int] = {}
-        self._table_cache: dict[float, TransitionTable] = {}
-        self._table_cache_size = 8
+        self.fingerprint = matrix_fingerprint(self.matrix)
+        # Hash of the measurement *regime* (solver settings + rhs): two
+        # records are statistically comparable exactly when this matches,
+        # whatever seed / replication count produced them.  It prefixes the
+        # store context so consumers (the tuning service) can filter by it.
+        self.settings_fingerprint = content_hash(
+            f"rtol={self.settings.rtol!r}:maxiter={self.settings.maxiter}"
+            f":restart={self.settings.gmres_restart!r}",
+            np.ascontiguousarray(self.rhs).tobytes())
+        if store is not None:
+            from repro.matrices.features import feature_vector
+
+            store.register_matrix(self.fingerprint, self.name,
+                                  feature_vector(self.matrix))
 
     # -- baselines -------------------------------------------------------------
     def baseline_iterations(self, solver: str) -> int:
@@ -164,24 +198,35 @@ class MatrixEvaluator:
                        solver, self.name, iterations, result.converged)
         return self._baseline_cache[solver]
 
+    @property
+    def cache(self) -> "ArtifactCache":
+        """The artifact cache in use (process-wide by default)."""
+        if self._cache is None:
+            from repro.service.cache import global_cache
+
+            self._cache = global_cache()
+        return self._cache
+
     def _transition_table(self, alpha: float) -> TransitionTable:
-        """Per-``alpha`` cached transition table (independent of eps/delta).
+        """Shared per-``(matrix, alpha)`` transition table (independent of eps/delta).
 
         Replications and eps/delta sweeps rebuild the preconditioner many
-        times at the same ``alpha``; caching the table here removes the only
-        build step those repeats share.  The cache is a small LRU: BO rounds
-        propose continuous ``alpha`` values, and the padded tables are dense
-        ``(n, max_row_nnz)`` arrays that must not accumulate unboundedly.
+        times at the same ``alpha``; the :class:`ArtifactCache` removes the
+        only build step those repeats share.  Keying by the matrix content
+        fingerprint means *every* evaluator in the process — BO over a matrix
+        portfolio, the figure drivers, the tuning service — shares one build,
+        while the LRU bound keeps the dense padded tables from accumulating
+        when BO proposes continuous ``alpha`` values.
         """
-        key = float(alpha)
-        if key in self._table_cache:
-            self._table_cache[key] = self._table_cache.pop(key)
-        else:
-            split = jacobi_splitting(self.matrix, key)
-            self._table_cache[key] = TransitionTable(split.iteration_matrix)
-            while len(self._table_cache) > self._table_cache_size:
-                self._table_cache.pop(next(iter(self._table_cache)))
-        return self._table_cache[key]
+        key_alpha = float(alpha)
+        from repro.service.cache import transition_table_key
+
+        def build() -> TransitionTable:
+            split = jacobi_splitting(self.matrix, key_alpha)
+            return TransitionTable(split.iteration_matrix)
+
+        return self.cache.get_or_build(
+            transition_table_key(self.fingerprint, key_alpha), build)
 
     # -- measurements -----------------------------------------------------------
     def measure_once(self, parameters: MCMCParameters, *, seed: int) -> tuple[int, float]:
@@ -197,12 +242,38 @@ class MatrixEvaluator:
         baseline = self.baseline_iterations(parameters.solver)
         return iterations, iterations / baseline
 
+    def record_context(self, n_replications: int, candidate_index: int) -> str:
+        """Store-key context: the measurement inputs beyond the parameters.
+
+        A measurement is a deterministic function of (matrix content,
+        parameters, solver settings, rhs, evaluator seed, replication count,
+        candidate index); the first two are separate key components, the rest
+        is this context string.  Records under the same full key are
+        therefore interchangeable with re-measurement.  The context starts
+        with :attr:`settings_fingerprint` followed by ``:`` so that records
+        from the same measurement regime can be recognised across seeds.
+        """
+        return (f"{self.settings_fingerprint}:s{self.seed}"
+                f":r{int(n_replications)}:c{int(candidate_index)}")
+
     def evaluate(self, parameters: MCMCParameters, *, n_replications: int = 3,
                  candidate_index: int = 0) -> PerformanceRecord:
-        """Replicated measurement of one parameter vector."""
+        """Replicated measurement of one parameter vector.
+
+        With a :attr:`store` attached, an already-stored measurement of the
+        same key is returned without touching the solver, and new
+        measurements are persisted (payload first, then index entry, so a
+        kill mid-grid never leaves a partial record behind).
+        """
         if n_replications < 1:
             raise ParameterError(
                 f"n_replications must be >= 1, got {n_replications}")
+        context = self.record_context(n_replications, candidate_index)
+        if self.store is not None:
+            stored = self.store.get_record(self.fingerprint, parameters,
+                                           context=context)
+            if stored is not None:
+                return stored
         iterations: list[int] = []
         y_values: list[float] = []
         for replication in range(n_replications):
@@ -212,13 +283,16 @@ class MatrixEvaluator:
             its, y = self.measure_once(parameters, seed=seed)
             iterations.append(its)
             y_values.append(y)
-        return PerformanceRecord(
+        record = PerformanceRecord(
             parameters=parameters,
             matrix_name=self.name,
             baseline_iterations=self.baseline_iterations(parameters.solver),
             preconditioned_iterations=iterations,
             y_values=y_values,
         )
+        if self.store is not None:
+            self.store.put_record(self.fingerprint, record, context=context)
+        return record
 
     def evaluate_many(self, parameter_list: list[MCMCParameters], *,
                       n_replications: int = 3) -> list[PerformanceRecord]:
@@ -237,6 +311,7 @@ def collect_grid_observations(matrices: dict[str, sp.spmatrix],
                               seed: int = 0,
                               executor: Executor | None = None,
                               skip_cg_for_nonsymmetric: bool = True,
+                              store: "ObservationStore | None" = None,
                               ) -> list[LabelledObservation]:
     """Build the paper's grid-search training data over several matrices.
 
@@ -253,6 +328,9 @@ def collect_grid_observations(matrices: dict[str, sp.spmatrix],
         CG is only run on symmetric positive-definite matrices in the paper;
         when true, CG configurations are silently skipped for matrices whose
         symmetry score is below 1.
+    store:
+        Optional observation store: already-measured grid points are served
+        from it and fresh ones persisted, making the collection resumable.
     """
     from repro.sparse.csr import is_symmetric
 
@@ -260,7 +338,7 @@ def collect_grid_observations(matrices: dict[str, sp.spmatrix],
     for matrix_index, (name, matrix) in enumerate(matrices.items()):
         evaluator = MatrixEvaluator(matrix, name, settings=settings,
                                     seed=seed + 17 * matrix_index,
-                                    executor=executor)
+                                    executor=executor, store=store)
         grid = parameter_grid
         if skip_cg_for_nonsymmetric and not is_symmetric(matrix):
             grid = [p for p in parameter_grid if p.solver != "cg"]

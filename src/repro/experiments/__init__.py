@@ -19,6 +19,7 @@ images.
 from repro.experiments.pipeline import (
     ExperimentProfile,
     PipelineResult,
+    profile_hash,
     run_pipeline,
     run_pipeline_cached,
     clear_pipeline_cache,
@@ -32,6 +33,7 @@ from repro.experiments.reporting import format_table, to_jsonable, save_json
 __all__ = [
     "ExperimentProfile",
     "PipelineResult",
+    "profile_hash",
     "run_pipeline",
     "run_pipeline_cached",
     "clear_pipeline_cache",

@@ -20,8 +20,9 @@ the three figure drivers (and their benchmarks) share one run.
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
@@ -43,9 +44,12 @@ from repro.exceptions import ExperimentError
 from repro.logging_utils import get_logger
 from repro.matrices.registry import get_spec, test_specs
 from repro.mcmc.parameters import MCMCParameters
+from repro.service.cache import ArtifactCache
+from repro.service.store import ObservationStore
+from repro.sparse.fingerprint import content_hash
 
-__all__ = ["ExperimentProfile", "PipelineResult", "run_pipeline",
-           "run_pipeline_cached", "clear_pipeline_cache"]
+__all__ = ["ExperimentProfile", "PipelineResult", "profile_hash",
+           "run_pipeline", "run_pipeline_cached", "clear_pipeline_cache"]
 
 _LOG = get_logger("experiments.pipeline")
 
@@ -201,8 +205,26 @@ class PipelineResult:
         return [record.parameters for record in self.reference_records]
 
 
+def profile_hash(profile: ExperimentProfile) -> str:
+    """Content hash over *every* field of the profile (and its sub-configs).
+
+    Unlike the former ``(name, seed)`` memo key, two profiles that share a
+    name but differ in any grid, replication count, solver setting or model
+    hyperparameter hash differently — mutating a profile can no longer serve
+    a stale pipeline result.
+    """
+    return content_hash(json.dumps(asdict(profile), sort_keys=True, default=repr))
+
+
 def _build_matrices(names: tuple[str, ...]) -> dict[str, sp.csr_matrix]:
     return {name: get_spec(name).build() for name in names}
+
+
+def _open_store(store: "ObservationStore | str | Path | None"
+                ) -> ObservationStore | None:
+    if store is None or isinstance(store, ObservationStore):
+        return store
+    return ObservationStore(store)
 
 
 def _predict_records(model: GraphNeuralSurrogate, dataset: SurrogateDataset,
@@ -214,17 +236,35 @@ def _predict_records(model: GraphNeuralSurrogate, dataset: SurrogateDataset,
     return optimizer.predict_parameters(matrix, matrix_name, parameters)
 
 
-def run_pipeline(profile: ExperimentProfile | None = None) -> PipelineResult:
-    """Execute the full experiment pipeline for ``profile`` (default: from env)."""
+def run_pipeline(profile: ExperimentProfile | None = None, *,
+                 store: "ObservationStore | str | Path | None" = None
+                 ) -> PipelineResult:
+    """Execute the full experiment pipeline for ``profile`` (default: from env).
+
+    Parameters
+    ----------
+    profile:
+        Scale profile; selected through ``REPRO_PROFILE`` when ``None``.
+    store:
+        Optional :class:`~repro.service.store.ObservationStore` (or its
+        directory).  Every measurement — training grid, reference grid, BO
+        rounds — is persisted there and served from there on a re-run, so a
+        killed run restarted with the same store re-measures only what is
+        missing and still produces identical figure inputs (the non-measured
+        stages, surrogate training and BO proposal, are deterministic given
+        the profile).
+    """
     profile = profile if profile is not None else ExperimentProfile.from_environment()
-    _LOG.info("running pipeline with profile %s", profile.name)
+    store = _open_store(store)
+    _LOG.info("running pipeline with profile %s%s", profile.name,
+              "" if store is None else f" (store: {store.root})")
 
     # 1. Training data -----------------------------------------------------------
     training_matrices = _build_matrices(profile.training_matrix_names)
     observations = collect_grid_observations(
         training_matrices, profile.training_grid(),
         n_replications=profile.n_replications_train,
-        settings=profile.solver_settings, seed=profile.seed)
+        settings=profile.solver_settings, seed=profile.seed, store=store)
     dataset = SurrogateDataset(observations, training_matrices)
 
     # 2. Pre-BO model -------------------------------------------------------------
@@ -246,7 +286,7 @@ def run_pipeline(profile: ExperimentProfile | None = None) -> PipelineResult:
     test_matrix = test_spec.build()
     evaluator = MatrixEvaluator(test_matrix, profile.test_matrix_name,
                                 settings=profile.solver_settings,
-                                seed=profile.seed + 1009)
+                                seed=profile.seed + 1009, store=store)
     reference_records = evaluator.evaluate_many(
         profile.evaluation_grid("gmres"),
         n_replications=profile.n_replications_eval)
@@ -298,22 +338,32 @@ def run_pipeline(profile: ExperimentProfile | None = None) -> PipelineResult:
     )
 
 
-_PIPELINE_CACHE: dict[tuple[str, int], PipelineResult] = {}
+#: Bounded memo for pipeline results.  A :class:`PipelineResult` holds the
+#: training matrices, the full dataset and two trained models, so the memo
+#: must not grow with every profile variation a session tries; the LRU bound
+#: keeps at most a handful alive and :func:`clear_pipeline_cache` releases
+#: the payloads outright.
+_PIPELINE_CACHE = ArtifactCache(max_entries=4)
 
 
-def run_pipeline_cached(profile: ExperimentProfile | None = None) -> PipelineResult:
-    """Memoised :func:`run_pipeline` keyed by (profile name, seed).
+def run_pipeline_cached(profile: ExperimentProfile | None = None, *,
+                        store: "ObservationStore | str | Path | None" = None
+                        ) -> PipelineResult:
+    """Memoised :func:`run_pipeline` keyed by the full profile content hash.
 
     The three figure drivers consume the same pipeline output; caching makes
-    ``pytest benchmarks/`` run it once instead of three times.
+    ``pytest benchmarks/`` run it once instead of three times.  The key is
+    :func:`profile_hash` (plus the store location), so two profiles differing
+    in *any* field — not just name and seed — never share a result.
     """
     profile = profile if profile is not None else ExperimentProfile.from_environment()
-    key = (profile.name, profile.seed)
-    if key not in _PIPELINE_CACHE:
-        _PIPELINE_CACHE[key] = run_pipeline(profile)
-    return _PIPELINE_CACHE[key]
+    store = _open_store(store)
+    key = ("pipeline", profile_hash(profile),
+           None if store is None else str(store.root.resolve()))
+    return _PIPELINE_CACHE.get_or_build(
+        key, lambda: run_pipeline(profile, store=store))
 
 
 def clear_pipeline_cache() -> None:
-    """Drop all memoised pipeline results (mainly for tests)."""
+    """Release every memoised pipeline result (and its model/dataset payloads)."""
     _PIPELINE_CACHE.clear()

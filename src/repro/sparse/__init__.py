@@ -15,6 +15,8 @@ Public surface
 
 ``row_topk_mask``, ``enforce_total_budget``  (``repro.sparse.topk``)
 
+``matrix_fingerprint``, ``content_hash``  (``repro.sparse.fingerprint``)
+
 ``norm_1``, ``norm_inf``, ``norm_fro``, ``spectral_radius``, ``norm_2_estimate``,
 ``condition_number``, ``condition_number_estimate``  (``repro.sparse.norms``)
 
@@ -38,6 +40,10 @@ from repro.sparse.csr import (
 from repro.sparse.topk import (
     row_topk_mask,
     enforce_total_budget,
+)
+from repro.sparse.fingerprint import (
+    content_hash,
+    matrix_fingerprint,
 )
 from repro.sparse.norms import (
     norm_1,
@@ -71,6 +77,8 @@ __all__ = [
     "random_sparse",
     "row_topk_mask",
     "enforce_total_budget",
+    "content_hash",
+    "matrix_fingerprint",
     "norm_1",
     "norm_inf",
     "norm_fro",

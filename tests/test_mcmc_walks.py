@@ -269,3 +269,83 @@ class TestVectorisedTableEquivalence:
         np.testing.assert_allclose(table._cumprob[valid],
                                    reference._cumprob[valid],
                                    rtol=0.0, atol=1e-12)
+
+
+class TestBatchedUniformDraws:
+    """The pre-generated uniform blocks must pin the per-step stream exactly."""
+
+    def test_block_source_matches_stream(self):
+        from repro.mcmc.walks import UniformBlockSource
+
+        source = UniformBlockSource(np.random.default_rng(3), block_size=4)
+        served = np.concatenate([source.take(3), source.take(6),
+                                 source.take(0), source.take(2)])
+        np.testing.assert_array_equal(served,
+                                      np.random.default_rng(3).random(11))
+
+    def test_block_source_invalid(self):
+        from repro.mcmc.walks import UniformBlockSource
+
+        with pytest.raises(ParameterError):
+            UniformBlockSource(np.random.default_rng(0), block_size=0)
+        source = UniformBlockSource(np.random.default_rng(0))
+        with pytest.raises(ParameterError):
+            source.take(-1)
+
+    @pytest.mark.parametrize("block_size", [1, 7, 512, 65536])
+    def test_estimates_independent_of_block_size(self, small_spd, block_size):
+        split = jacobi_splitting(small_spd, 1.0)
+        table = TransitionTable(split.iteration_matrix)
+        reference_engine = WalkEngine(table, weight_cutoff=1e-3, max_steps=40,
+                                      rng_block_size=1)
+        reference, ref_stats = reference_engine.estimate_rows(
+            np.arange(table.dimension), 4, np.random.default_rng(11))
+        engine = WalkEngine(table, weight_cutoff=1e-3, max_steps=40,
+                            rng_block_size=block_size)
+        estimates, stats = engine.estimate_rows(
+            np.arange(table.dimension), 4, np.random.default_rng(11))
+        np.testing.assert_array_equal(estimates, reference)
+        assert stats == ref_stats
+
+    def test_matches_manual_per_step_stream(self, small_spd):
+        """Bitwise equivalence with per-step ``rng.random`` draws (old scheme)."""
+        split = jacobi_splitting(small_spd, 2.0)
+        table = TransitionTable(split.iteration_matrix)
+        start_rows = np.array([0, 3, 5])
+        chains = 3
+        max_steps = 25
+        cutoff = 1e-2
+
+        engine = WalkEngine(table, weight_cutoff=cutoff, max_steps=max_steps)
+        estimates, _ = engine.estimate_rows(start_rows, chains,
+                                            np.random.default_rng(7))
+
+        rng = np.random.default_rng(7)
+        states = np.repeat(start_rows, chains)
+        walk_row = np.repeat(np.arange(start_rows.size), chains)
+        weights = np.ones(states.size)
+        manual = np.zeros((start_rows.size, table.dimension))
+        np.add.at(manual, (walk_row, states), weights)
+        active = np.flatnonzero(~table.is_absorbing(states))
+        step = 0
+        while active.size and step < max_steps:
+            step += 1
+            next_states, multipliers = table.step(states[active], rng)
+            new_weights = weights[active] * multipliers
+            states[active] = next_states
+            weights[active] = new_weights
+            np.add.at(manual, (walk_row[active], next_states), new_weights)
+            keep = ~((np.abs(new_weights) < cutoff)
+                     | table.is_absorbing(next_states)
+                     | (np.abs(new_weights) > WalkEngine.WEIGHT_EXPLOSION_CAP))
+            active = active[keep]
+        manual /= float(chains)
+        np.testing.assert_array_equal(estimates, manual)
+
+    def test_step_uniform_validation(self):
+        table = TransitionTable(sp.identity(3, format="csr") * 0.5)
+        states = np.array([0, 1])
+        with pytest.raises(ParameterError):
+            table.step(states)  # neither rng nor uniforms
+        with pytest.raises(ParameterError):
+            table.step(states, uniforms=np.array([0.5]))  # wrong count

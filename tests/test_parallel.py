@@ -152,3 +152,101 @@ class TestExecutors:
                           HybridExecutor)
         with pytest.raises(ParameterError):
             get_executor("gpu")
+
+
+# -- satellite coverage: ordering, hybrid seeding, process pickling -----------
+
+def _jittered_square(value: int) -> int:
+    """Finish out of submission order to stress result re-ordering."""
+    import time
+
+    time.sleep(0.002 * ((7 - value) % 5))
+    return value * value
+
+
+def _seeded_draw(task) -> float:
+    """First uniform of the per-task stream (seed, index) -> float."""
+    seed, index = task
+    return float(TaskRNGFactory(seed).for_task(index).random(1)[0])
+
+
+def _evaluation_task(task) -> float:
+    """A realistic evaluation payload: MCMC inverse estimate -> residual norm.
+
+    Must live at module level so :class:`ProcessExecutor` can pickle it.
+    """
+    alpha, seed = task
+    import scipy.sparse as sp
+
+    from repro.matrices import laplacian_2d
+    from repro.mcmc.inversion import estimate_inverse
+    from repro.mcmc.parameters import MCMCParameters
+
+    matrix = laplacian_2d(6)
+    parameters = MCMCParameters(alpha=alpha, eps=1.0, delta=0.5)
+    approx = estimate_inverse(matrix, parameters, seed=seed)
+    residual = sp.identity(matrix.shape[0]) - approx @ matrix
+    return float(np.abs(residual.toarray()).sum())
+
+
+class TestExecutorOrdering:
+    """Results must come back in task order under every executor."""
+
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadExecutor(n_threads=3),
+        ProcessExecutor(n_processes=2),
+        HybridExecutor(ranks=2, threads_per_rank=2),
+    ], ids=["serial", "thread", "process", "hybrid"])
+    def test_out_of_order_completion_is_reordered(self, executor):
+        tasks = list(range(11))
+        assert executor.map_tasks(_jittered_square, tasks) == \
+            [t * t for t in tasks]
+
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadExecutor(n_threads=2),
+        ProcessExecutor(n_processes=2),
+        HybridExecutor(ranks=2, threads_per_rank=2),
+    ], ids=["serial", "thread", "process", "hybrid"])
+    def test_single_task(self, executor):
+        assert executor.map_tasks(_jittered_square, [3]) == [9]
+
+
+class TestHybridSeedingDeterminism:
+    """The simulated MPI x OpenMP layout must not change seeded results."""
+
+    def test_rank_thread_layout_independent(self):
+        tasks = [(0, index) for index in range(12)]
+        expected = SerialExecutor().map_tasks(_seeded_draw, tasks)
+        for ranks, threads in [(1, 4), (2, 2), (4, 1), (3, 2)]:
+            executor = HybridExecutor(ranks=ranks, threads_per_rank=threads)
+            assert executor.map_tasks(_seeded_draw, tasks) == expected, \
+                f"layout {ranks}x{threads} changed seeded results"
+
+    def test_repeated_hybrid_runs_identical(self):
+        tasks = [(5, index) for index in range(8)]
+        executor = HybridExecutor(ranks=2, threads_per_rank=2)
+        first = executor.map_tasks(_seeded_draw, tasks)
+        second = executor.map_tasks(_seeded_draw, tasks)
+        assert first == second
+
+
+class TestProcessExecutorPickling:
+    """Evaluation tasks must survive the pickling round-trip to workers."""
+
+    def test_evaluation_tasks_match_serial(self):
+        tasks = [(1.0, 0), (2.0, 1), (4.0, 2)]
+        serial = SerialExecutor().map_tasks(_evaluation_task, tasks)
+        parallel = ProcessExecutor(n_processes=2).map_tasks(
+            _evaluation_task, tasks)
+        assert parallel == serial
+
+    def test_unpicklable_local_function_raises(self):
+        executor = ProcessExecutor(n_processes=2)
+
+        def local(value):  # closures cannot be pickled
+            return value
+
+        with pytest.raises(Exception):
+            executor.map_tasks(local, [1, 2])

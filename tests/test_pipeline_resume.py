@@ -1,0 +1,178 @@
+"""Resume round-trip and memoisation tests for the store-backed pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import MatrixEvaluator, SolverSettings
+from repro.core.surrogate import SurrogateConfig
+from repro.core.training import TrainingConfig
+from repro.experiments.pipeline import (
+    ExperimentProfile,
+    clear_pipeline_cache,
+    profile_hash,
+    run_pipeline,
+    run_pipeline_cached,
+)
+from repro.service.store import ObservationStore
+
+
+def _micro_profile(seed: int = 0) -> ExperimentProfile:
+    """Smallest profile that still runs every pipeline stage."""
+    return ExperimentProfile(
+        name="smoke",
+        training_matrix_names=("PDD_RealSparse_N64", "2DFDLaplace_16"),
+        test_matrix_name="unsteady_adv_diff_order2_0001",
+        grid_alphas=(0.05, 4.0),
+        grid_epss=(0.5,),
+        grid_deltas=(0.5,),
+        solvers=("gmres",),
+        n_replications_train=1,
+        n_replications_eval=1,
+        n_replications_bo=1,
+        bo_batch_size=2,
+        eval_alphas=(4.0,),
+        eval_epss=(0.5, 0.25),
+        eval_deltas=(0.5,),
+        solver_settings=SolverSettings(rtol=1e-8, maxiter=400),
+        surrogate=SurrogateConfig(graph_hidden=8, xa_hidden=8, xm_hidden=8,
+                                  combined_hidden=8, dropout=0.0, seed=seed),
+        training=TrainingConfig(epochs=3, batch_size=8, learning_rate=5e-3,
+                                patience=3, seed=seed),
+        seed=seed,
+    )
+
+
+def _figure_inputs(result):
+    """The measured values every figure is computed from."""
+    return {
+        "reference": [(r.parameters, tuple(r.y_values))
+                      for r in result.reference_records],
+        "bo": {xi: [(r.parameters, tuple(r.y_values)) for r in records]
+               for xi, records in result.bo_records.items()},
+        "dataset": [(sample.matrix_name, tuple(sample.x_m_raw),
+                     sample.y_mean, sample.y_std)
+                    for sample in result.dataset.samples],
+    }
+
+
+class _MeasureCounter:
+    """Counts (and optionally kills) MatrixEvaluator.measure_once calls."""
+
+    def __init__(self, monkeypatch, *, kill_after: int | None = None):
+        self.calls = 0
+        original = MatrixEvaluator.measure_once
+        counter = self
+
+        def counted(self, parameters, *, seed):
+            counter.calls += 1
+            if kill_after is not None and counter.calls > kill_after:
+                raise KeyboardInterrupt("simulated kill")
+            return original(self, parameters, seed=seed)
+
+        monkeypatch.setattr(MatrixEvaluator, "measure_once", counted)
+
+
+@pytest.mark.slow
+class TestResumeRoundTrip:
+    def test_killed_run_resumes_and_replays_identically(self, tmp_path,
+                                                        monkeypatch):
+        profile = _micro_profile()
+        store_dir = tmp_path / "observations"
+
+        # Ground truth: a full run without any store.
+        with monkeypatch.context() as patcher:
+            baseline_counter = _MeasureCounter(patcher)
+            expected = run_pipeline(profile)
+        total_measurements = baseline_counter.calls
+        assert total_measurements > 4
+
+        # A run killed mid-grid: some observations persisted, then death.
+        kill_after = 3
+        with monkeypatch.context() as patcher:
+            _MeasureCounter(patcher, kill_after=kill_after)
+            with pytest.raises(KeyboardInterrupt):
+                run_pipeline(profile, store=store_dir)
+        stored_after_kill = len(ObservationStore(store_dir))
+        assert 0 < stored_after_kill <= kill_after
+
+        # Resume with the same store: only the missing measurements run ...
+        with monkeypatch.context() as patcher:
+            resume_counter = _MeasureCounter(patcher)
+            resumed = run_pipeline(profile, store=store_dir)
+        assert resume_counter.calls == total_measurements - stored_after_kill
+
+        # ... and the figure inputs are identical to the uninterrupted run.
+        assert _figure_inputs(resumed) == _figure_inputs(expected)
+
+        # A full replay against the populated store re-measures *nothing*
+        # and still reproduces the figure inputs exactly.
+        with monkeypatch.context() as patcher:
+            replay_counter = _MeasureCounter(patcher)
+            replayed = run_pipeline(profile, store=store_dir)
+        assert replay_counter.calls == 0
+        assert _figure_inputs(replayed) == _figure_inputs(expected)
+
+
+class TestProfileHash:
+    def test_sensitive_to_every_field(self):
+        base = _micro_profile()
+        assert profile_hash(base) == profile_hash(_micro_profile())
+        assert profile_hash(base) != profile_hash(_micro_profile(seed=1))
+        mutated = ExperimentProfile(
+            **{**base.__dict__, "grid_alphas": (0.05, 5.0)})
+        assert mutated.name == base.name
+        assert profile_hash(mutated) != profile_hash(base)
+
+    def test_nested_configs_participate(self):
+        base = _micro_profile()
+        mutated = ExperimentProfile(
+            **{**base.__dict__,
+               "solver_settings": SolverSettings(rtol=1e-6, maxiter=400)})
+        assert profile_hash(mutated) != profile_hash(base)
+
+
+class TestBoundedPipelineMemo:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_pipeline_cache()
+        yield
+        clear_pipeline_cache()
+
+    def test_memo_keyed_by_content_not_name(self, monkeypatch):
+        runs = []
+        monkeypatch.setattr("repro.experiments.pipeline.run_pipeline",
+                            lambda profile, store=None: runs.append(profile) or
+                            ("result", profile_hash(profile)))
+        base = _micro_profile()
+        first = run_pipeline_cached(base)
+        again = run_pipeline_cached(_micro_profile())
+        assert first is again            # identical content -> memo hit
+        assert len(runs) == 1
+
+        # Same name + seed but different grid: the old (name, seed) key
+        # would have served the stale result; the content hash must not.
+        mutated = ExperimentProfile(**{**base.__dict__,
+                                       "grid_alphas": (0.05, 5.0)})
+        assert mutated.name == base.name and mutated.seed == base.seed
+        different = run_pipeline_cached(mutated)
+        assert different is not first
+        assert len(runs) == 2
+
+    def test_memo_is_bounded_and_clearable(self, monkeypatch):
+        runs = []
+        monkeypatch.setattr("repro.experiments.pipeline.run_pipeline",
+                            lambda profile, store=None: runs.append(1) or
+                            object())
+        from repro.experiments.pipeline import _PIPELINE_CACHE
+
+        profiles = [_micro_profile(seed=s) for s in range(6)]
+        for profile in profiles:
+            run_pipeline_cached(profile)
+        assert len(runs) == 6
+        assert len(_PIPELINE_CACHE) <= _PIPELINE_CACHE.max_entries
+
+        clear_pipeline_cache()
+        assert len(_PIPELINE_CACHE) == 0
+        run_pipeline_cached(profiles[-1])
+        assert len(runs) == 7            # released, so it truly re-runs
