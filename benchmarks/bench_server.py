@@ -1,0 +1,194 @@
+"""Solve-server benchmark: throughput, latency, policy warm-up, batching.
+
+Three scenarios, each asserting correctness alongside its timing gate:
+
+* **Throughput / latency** — a queued stream of requests over a few registry
+  matrices; reports requests/s and the p50/p95 solve latency straight from
+  the server's telemetry histograms.
+* **Cold vs warm policy** — the first request for a matrix pays the policy
+  decision plus the preconditioner build; repeating it must be served from
+  the shared :class:`~repro.service.cache.ArtifactCache` far cheaper.
+* **Shared-fingerprint batching** — K same-matrix requests served in one
+  batched drain (one build) versus the same K requests each against a cold
+  cache (K builds).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_server.py``) or
+through pytest.  When run directly the measured numbers are written as JSON
+(for the CI artifact) to ``BENCH_SERVER_JSON`` (default
+``bench_server.json``).  ``SERVER_REQUIRED_SPEEDUP`` overrides the warm-vs-
+cold gate (CI uses a lower bar to tolerate shared-runner noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.server import SolveRequest, SolveServer
+from repro.service.cache import ArtifactCache
+from repro.sparse.csr import random_sparse
+
+REQUIRED_SPEEDUP = float(os.environ.get("SERVER_REQUIRED_SPEEDUP", "3"))
+
+#: Large enough that a preconditioner build dominates queue overhead.
+BENCH_N = 1_500
+BENCH_DENSITY = 0.003
+
+#: The cold-vs-warm and batching scenarios use a larger, strongly dominant
+#: matrix: its Neumann-series build is expensive while its solves are a few
+#: iterations, so the warm/batched paths isolate the build amortisation.
+POLICY_N = 3_000
+POLICY_DIAG_BOOST = 8.0
+
+
+def _bench_matrix(seed: int = 0):
+    return random_sparse(BENCH_N, BENCH_DENSITY, seed=seed, diag_boost=4.0)
+
+
+def _policy_matrix(seed: int = 2):
+    return random_sparse(POLICY_N, BENCH_DENSITY, seed=seed,
+                         diag_boost=POLICY_DIAG_BOOST)
+
+
+def _request(matrix, index: int, seed: int = 0) -> SolveRequest:
+    rhs = np.random.default_rng(seed + index).standard_normal(matrix.shape[0])
+    return SolveRequest(matrix=matrix, rhs=rhs, maxiter=400,
+                        tag=f"req{index}")
+
+
+def bench_throughput(requests: int = 12) -> dict:
+    """Queued stream over two matrices; reports req/s and latency quantiles."""
+    matrices = [_bench_matrix(0), _bench_matrix(1)]
+    server = SolveServer(cache=ArtifactCache(max_entries=16), background=False)
+    stream = [_request(matrices[index % len(matrices)], index)
+              for index in range(requests)]
+    start = time.perf_counter()
+    jobs = server.submit_many(stream)
+    assert server.drain(timeout=600.0)
+    elapsed = time.perf_counter() - start
+    responses = [job.result(timeout=1.0) for job in jobs]
+    assert all(response.converged for response in responses)
+    latency = server.telemetry.histogram("solve.latency_ms").summary()
+    server.shutdown()
+    return {
+        "requests": requests,
+        "wall_s": elapsed,
+        "throughput_rps": requests / elapsed,
+        "latency_ms_p50": latency["p50"],
+        "latency_ms_p95": latency["p95"],
+    }
+
+
+def bench_policy_cold_vs_warm() -> dict:
+    """First (cold) request pays the build; the repeat must hit the cache."""
+    matrix = _policy_matrix(2)
+    cache = ArtifactCache(max_entries=16)
+    server = SolveServer(cache=cache, background=False)
+
+    start = time.perf_counter()
+    cold_response = server.solve(_request(matrix, 0))
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_response = server.solve(_request(matrix, 0))
+    warm = time.perf_counter() - start
+
+    assert cold_response.converged and warm_response.converged
+    assert np.array_equal(cold_response.solution, warm_response.solution), \
+        "warm serve diverged from the cold serve"
+    assert cache.stats.builds == 1, \
+        f"expected 1 preconditioner build, got {cache.stats.builds}"
+    server.shutdown()
+    return {
+        "n": POLICY_N,
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": cold / max(warm, 1e-9),
+    }
+
+
+def bench_shared_fingerprint_batching(k: int = 4) -> dict:
+    """K same-matrix requests: one batched drain vs K cold servers."""
+    matrix = _policy_matrix(3)
+
+    cold_total = 0.0
+    for index in range(k):
+        server = SolveServer(cache=ArtifactCache(max_entries=16),
+                             background=False)
+        start = time.perf_counter()
+        response = server.solve(_request(matrix, index))
+        cold_total += time.perf_counter() - start
+        assert response.converged
+        server.shutdown()
+
+    cache = ArtifactCache(max_entries=16)
+    server = SolveServer(cache=cache, background=False)
+    start = time.perf_counter()
+    jobs = server.submit_many([_request(matrix, index) for index in range(k)])
+    assert server.drain(timeout=600.0)
+    batched_total = time.perf_counter() - start
+    responses = [job.result(timeout=1.0) for job in jobs]
+    assert all(response.batch_size == k for response in responses), \
+        "requests were not batched into one group"
+    assert cache.stats.builds == 1, \
+        f"expected 1 shared build, got {cache.stats.builds}"
+    server.shutdown()
+    return {
+        "k": k,
+        "cold_total_s": cold_total,
+        "batched_total_s": batched_total,
+        "speedup": cold_total / max(batched_total, 1e-9),
+    }
+
+
+def test_policy_warm_cache_speedup():
+    """Warm repeat of a request must beat the cold build decisively."""
+    result = bench_policy_cold_vs_warm()
+    print(f"\npolicy cold {result['cold_s'] * 1e3:.1f} ms, "
+          f"warm {result['warm_s'] * 1e3:.1f} ms "
+          f"-> {result['speedup']:.1f}x")
+    assert result["speedup"] >= REQUIRED_SPEEDUP, (
+        f"warm serve only {result['speedup']:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+def test_shared_fingerprint_batching_faster_than_cold():
+    """Batched same-matrix serving must beat K independent cold serves."""
+    result = bench_shared_fingerprint_batching()
+    print(f"\nbatching: cold {result['cold_total_s'] * 1e3:.0f} ms, "
+          f"batched {result['batched_total_s'] * 1e3:.0f} ms "
+          f"-> {result['speedup']:.1f}x")
+    assert result["speedup"] >= 1.5, (
+        f"batched serving only {result['speedup']:.1f}x faster than cold")
+
+
+def test_throughput_stream_completes():
+    """The queued stream completes and reports sane latency quantiles."""
+    result = bench_throughput(requests=6)
+    assert result["throughput_rps"] > 0
+    assert result["latency_ms_p95"] >= result["latency_ms_p50"] > 0
+
+
+def main() -> None:
+    results = {
+        "throughput": bench_throughput(),
+        "policy_cold_vs_warm": bench_policy_cold_vs_warm(),
+        "shared_fingerprint_batching": bench_shared_fingerprint_batching(),
+    }
+    for name, metrics in results.items():
+        print(f"{name}: {json.dumps(metrics, indent=2)}")
+    out_path = os.environ.get("BENCH_SERVER_JSON", "bench_server.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {out_path}")
+    assert results["policy_cold_vs_warm"]["speedup"] >= REQUIRED_SPEEDUP, (
+        f"policy warm path only {results['policy_cold_vs_warm']['speedup']:.1f}x "
+        f"< required {REQUIRED_SPEEDUP}x")
+    assert results["shared_fingerprint_batching"]["speedup"] >= 1.5
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,7 @@ from repro.core import (
     SurrogateConfig,
     TrainingConfig,
 )
+from repro.server import SolveRequest, SolveServer
 
 __all__ = [
     "__version__",
@@ -55,4 +56,6 @@ __all__ = [
     "GraphNeuralSurrogate",
     "SurrogateConfig",
     "TrainingConfig",
+    "SolveRequest",
+    "SolveServer",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "LabelledObservation",
     "MatrixEvaluator",
     "collect_grid_observations",
+    "measurement_regime",
 ]
 
 _LOG = get_logger("core.evaluation")
@@ -65,6 +66,22 @@ class SolverSettings:
                 restart = min(dimension, self.maxiter)
             kwargs["restart"] = restart
         return kwargs
+
+
+def measurement_regime(settings: SolverSettings, rhs: np.ndarray) -> str:
+    """Hash of the measurement *regime*: solver settings plus right-hand side.
+
+    Two performance records are statistically comparable exactly when this
+    hash matches — same tolerance, iteration budget, restart policy and
+    ``b`` — whatever seed or replication count produced them.  Both
+    :class:`MatrixEvaluator` and the solve server prefix their store contexts
+    with it so consumers (the tuning service, the preconditioner policy) can
+    filter records by regime.
+    """
+    return content_hash(
+        f"rtol={settings.rtol!r}:maxiter={settings.maxiter}"
+        f":restart={settings.gmres_restart!r}",
+        np.ascontiguousarray(rhs, dtype=np.float64).tobytes())
 
 
 @dataclass
@@ -175,10 +192,7 @@ class MatrixEvaluator:
         # records are statistically comparable exactly when this matches,
         # whatever seed / replication count produced them.  It prefixes the
         # store context so consumers (the tuning service) can filter by it.
-        self.settings_fingerprint = content_hash(
-            f"rtol={self.settings.rtol!r}:maxiter={self.settings.maxiter}"
-            f":restart={self.settings.gmres_restart!r}",
-            np.ascontiguousarray(self.rhs).tobytes())
+        self.settings_fingerprint = measurement_regime(self.settings, self.rhs)
         if store is not None:
             from repro.matrices.features import feature_vector
 

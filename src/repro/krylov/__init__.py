@@ -20,7 +20,7 @@ from repro.krylov.base import SolveResult, as_preconditioner_function
 from repro.krylov.gmres import gmres
 from repro.krylov.bicgstab import bicgstab
 from repro.krylov.cg import cg
-from repro.krylov.solve import solve, iteration_count, KNOWN_SOLVERS
+from repro.krylov.solve import solve, solve_many, iteration_count, KNOWN_SOLVERS
 
 __all__ = [
     "SolveResult",
@@ -29,6 +29,7 @@ __all__ = [
     "bicgstab",
     "cg",
     "solve",
+    "solve_many",
     "iteration_count",
     "KNOWN_SOLVERS",
 ]

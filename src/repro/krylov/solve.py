@@ -10,13 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ParameterError
+from repro.exceptions import MatrixFormatError, ParameterError
 from repro.krylov.base import SolveResult
 from repro.krylov.bicgstab import bicgstab
 from repro.krylov.cg import cg
 from repro.krylov.gmres import gmres
 
-__all__ = ["solve", "iteration_count", "KNOWN_SOLVERS"]
+__all__ = ["solve", "solve_many", "iteration_count", "KNOWN_SOLVERS"]
 
 #: Mapping from solver name to implementation.
 KNOWN_SOLVERS = {
@@ -46,6 +46,49 @@ def solve(matrix, rhs, *, solver: str = "gmres", preconditioner=None, x0=None,
     implementation = KNOWN_SOLVERS[key]
     return implementation(matrix, rhs, preconditioner=preconditioner, x0=x0,
                           rtol=rtol, maxiter=maxiter, **solver_options)
+
+
+def solve_many(matrix, rhs_block, *, solver: str = "gmres", preconditioner=None,
+               x0=None, rtol: float = 1e-8, maxiter: int | None = None,
+               **solver_options) -> list[SolveResult]:
+    """Solve ``A X = B`` for every column of a multi-rhs block.
+
+    The solve-server scheduler batches concurrent requests over the same
+    matrix into one call here: the expensive shared work (preconditioner
+    build, transition-table assembly) has already been amortised by the
+    caller, and each column is then solved with exactly the same arithmetic
+    as a standalone :func:`solve` — results are bit-identical to ``k``
+    independent single-rhs calls, which is what makes batched serving
+    indistinguishable from synchronous serving.
+
+    Parameters
+    ----------
+    rhs_block:
+        Either a 2-D array of shape ``(n, k)`` (one system per column) or a
+        sequence of ``k`` length-``n`` vectors.
+    x0:
+        Optional initial guess shared by every column (``None`` -> zeros).
+
+    Returns
+    -------
+    list[SolveResult]
+        One result per column, in column order.
+    """
+    if isinstance(rhs_block, np.ndarray) and rhs_block.ndim == 2:
+        columns = [rhs_block[:, j] for j in range(rhs_block.shape[1])]
+    else:
+        columns = [np.asarray(column, dtype=np.float64).ravel()
+                   for column in rhs_block]
+    if not columns:
+        raise MatrixFormatError("rhs_block must contain at least one column")
+    n = columns[0].size
+    for index, column in enumerate(columns):
+        if column.size != n:
+            raise MatrixFormatError(
+                f"rhs column {index} has length {column.size}, expected {n}")
+    return [solve(matrix, column, solver=solver, preconditioner=preconditioner,
+                  x0=x0, rtol=rtol, maxiter=maxiter, **solver_options)
+            for column in columns]
 
 
 def iteration_count(matrix, rhs, *, solver: str = "gmres", preconditioner=None,

@@ -46,6 +46,7 @@ from repro.matrices.features import (
     matrix_features,
     feature_names,
     feature_vector,
+    structural_flags,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "matrix_features",
     "feature_names",
     "feature_vector",
+    "structural_flags",
 ]

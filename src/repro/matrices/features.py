@@ -15,6 +15,7 @@ import scipy.sparse as sp
 from repro.sparse.csr import (
     ensure_csr,
     fill_factor,
+    is_symmetric,
     nnz_per_row,
     row_sums_abs,
     sparsity,
@@ -23,7 +24,8 @@ from repro.sparse.csr import (
 )
 from repro.sparse.norms import norm_1, norm_fro, norm_inf
 
-__all__ = ["matrix_features", "feature_names", "feature_vector"]
+__all__ = ["matrix_features", "feature_names", "feature_vector",
+           "structural_flags", "nearest_feature_neighbour"]
 
 _FEATURE_NAMES: tuple[str, ...] = (
     "log_dimension",
@@ -48,6 +50,49 @@ def feature_names() -> tuple[str, ...]:
     return _FEATURE_NAMES
 
 
+def _diagonal_dominance(csr: sp.csr_matrix) -> float:
+    """Median of ``|a_ii| / sum_{j != i} |a_ij|``, clipped to ``[0, 1e3]``.
+
+    Rows without off-diagonal mass are perfectly dominant (``inf`` before the
+    clip), so a diagonal matrix scores the maximum.
+    """
+    diag = csr.diagonal()
+    off_diag_mass = row_sums_abs(csr) - np.abs(diag)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dominance = np.where(off_diag_mass > 0,
+                             np.abs(diag) / off_diag_mass, np.inf)
+    if dominance.size == 0:
+        return 0.0
+    return float(np.clip(np.median(dominance), 0.0, 1e3))
+
+
+def structural_flags(matrix: sp.spmatrix) -> dict[str, bool | float]:
+    """Cheap structural predicates consumed by the solve-server policy.
+
+    Unlike :func:`matrix_features` (continuous values for the surrogate),
+    these are the boolean questions a preconditioner rule table asks: is the
+    matrix plausibly SPD, is its diagonal usable for Jacobi-type splittings,
+    how diagonally dominant is it.  ``spd_like`` is a structural proxy
+    (symmetric with a strictly positive diagonal) — a full definiteness check
+    would cost a factorisation, which the policy must avoid.
+    """
+    csr = validate_square(ensure_csr(matrix))
+    diag = csr.diagonal()
+    n = csr.shape[0]
+    symmetric = bool(is_symmetric(csr))
+    positive_diagonal = bool(n > 0 and np.all(diag > 0.0))
+    nonzero_diagonal = bool(n > 0 and np.all(diag != 0.0))
+    dominance = _diagonal_dominance(csr)
+    return {
+        "symmetric": symmetric,
+        "positive_diagonal": positive_diagonal,
+        "nonzero_diagonal": nonzero_diagonal,
+        "spd_like": symmetric and positive_diagonal,
+        "diag_dominant": nonzero_diagonal and dominance >= 1.0,
+        "dominance": dominance,
+    }
+
+
 def matrix_features(matrix: sp.spmatrix) -> dict[str, float]:
     """Compute the cheap features of ``A`` as a name -> value mapping.
 
@@ -59,11 +104,7 @@ def matrix_features(matrix: sp.spmatrix) -> dict[str, float]:
     n = csr.shape[0]
     degrees = nnz_per_row(csr).astype(np.float64)
     diag = csr.diagonal()
-    abs_row_sums = row_sums_abs(csr)
-    off_diag_mass = abs_row_sums - np.abs(diag)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        dominance = np.where(off_diag_mass > 0, np.abs(diag) / off_diag_mass, np.inf)
-    dominance_feature = float(np.clip(np.median(dominance), 0.0, 1e3))
+    dominance_feature = _diagonal_dominance(csr)
 
     coo = csr.tocoo()
     bandwidth = int(np.abs(coo.row - coo.col).max()) if csr.nnz else 0
@@ -93,3 +134,27 @@ def feature_vector(matrix: sp.spmatrix) -> np.ndarray:
     """Feature vector in the fixed order given by :func:`feature_names`."""
     features = matrix_features(ensure_csr(matrix))
     return np.array([features[name] for name in _FEATURE_NAMES], dtype=np.float64)
+
+
+def nearest_feature_neighbour(candidates: list[np.ndarray],
+                              target: np.ndarray) -> tuple[int, float] | None:
+    """Index and distance of the candidate closest to ``target``.
+
+    Features are standardised (zero mean / unit variance, computed over the
+    candidates plus the target) before the Euclidean distance so no single
+    large-scale feature (e.g. ``max_degree``) dominates.  This is the one
+    warm-start convention shared by the tuning service and the solve-server
+    policy — both layers must pick the same neighbour for the same store.
+
+    Returns ``None`` when ``candidates`` is empty.
+    """
+    if not candidates:
+        return None
+    stack = np.stack([np.asarray(c, dtype=np.float64) for c in candidates]
+                     + [np.asarray(target, dtype=np.float64)])
+    scale = stack.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    normalised = (stack - stack.mean(axis=0)) / scale
+    distances = np.linalg.norm(normalised[:-1] - normalised[-1], axis=1)
+    best = int(np.argmin(distances))
+    return best, float(distances[best])

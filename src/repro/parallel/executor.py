@@ -42,6 +42,23 @@ __all__ = [
 _LOG = get_logger("parallel")
 
 
+class _Settled:
+    """Picklable wrapper returning ``(result, None)`` or ``(None, error)``.
+
+    A module-level class (not a closure) so that :class:`ProcessExecutor`
+    can ship it to workers.
+    """
+
+    def __init__(self, func: Callable) -> None:
+        self._func = func
+
+    def __call__(self, task):
+        try:
+            return self._func(task), None
+        except Exception as error:  # noqa: BLE001 - settled by design
+            return None, error
+
+
 class Executor(ABC):
     """Common interface: ordered map of a callable over a task list."""
 
@@ -49,6 +66,18 @@ class Executor(ABC):
     def map_tasks(self, func: Callable[[TaskT], ResultT],
                   tasks: Sequence[TaskT]) -> list[ResultT]:
         """Apply ``func`` to every task and return results in task order."""
+
+    def run_settled(self, func: Callable[[TaskT], ResultT],
+                    tasks: Sequence[TaskT]
+                    ) -> list[tuple[ResultT | None, Exception | None]]:
+        """Like :meth:`map_tasks`, but one task's exception never aborts the rest.
+
+        Each entry of the returned list is ``(result, None)`` on success or
+        ``(None, exception)`` on failure, in task order.  The solve-server
+        scheduler uses this so a failing request group surfaces its error on
+        its own jobs while every other group still completes.
+        """
+        return self.map_tasks(_Settled(func), tasks)
 
     @property
     def workers(self) -> int:

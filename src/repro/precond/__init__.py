@@ -14,6 +14,7 @@ from repro.precond.neumann import NeumannPreconditioner
 from repro.precond.ilu import ILU0Preconditioner
 from repro.precond.ichol import IncompleteCholeskyPreconditioner
 from repro.precond.spai import SPAIPreconditioner
+from repro.precond.factory import KNOWN_FAMILIES, make_preconditioner
 
 __all__ = [
     "Preconditioner",
@@ -24,4 +25,6 @@ __all__ = [
     "ILU0Preconditioner",
     "IncompleteCholeskyPreconditioner",
     "SPAIPreconditioner",
+    "KNOWN_FAMILIES",
+    "make_preconditioner",
 ]

@@ -1,0 +1,85 @@
+"""Construction of preconditioners by family name.
+
+The solve server's :class:`~repro.server.policy.PreconditionerPolicy` decides
+on a *family* (a string) plus keyword parameters; this factory is the single
+place that maps the decision onto a concrete object.  Keeping the mapping here
+(rather than in the server) lets the CLI, benchmarks and tests build any
+baseline by name as well.
+
+The ``"mcmc"`` family is resolved lazily (the MCMC stack imports
+:mod:`repro.precond.base`, so a module-level import would be circular); it
+accepts the extra keywords ``parameters`` (an
+:class:`~repro.mcmc.parameters.MCMCParameters`), ``seed`` and
+``transition_table``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import scipy.sparse as sp
+
+from repro.exceptions import PreconditionerError
+from repro.precond.base import Preconditioner
+from repro.precond.ichol import IncompleteCholeskyPreconditioner
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.precond.neumann import NeumannPreconditioner
+from repro.precond.spai import SPAIPreconditioner
+
+__all__ = ["KNOWN_FAMILIES", "make_preconditioner"]
+
+#: Preconditioner families constructible by :func:`make_preconditioner`.
+#: ``"none"`` is the identity (the solver runs unpreconditioned).
+KNOWN_FAMILIES: tuple[str, ...] = (
+    "none", "jacobi", "neumann", "ilu0", "ic0", "spai", "mcmc",
+)
+
+
+def make_preconditioner(family: str, matrix: sp.spmatrix,
+                        **params: Any) -> Preconditioner | None:
+    """Build the preconditioner of the given family for ``matrix``.
+
+    Parameters
+    ----------
+    family:
+        One of :data:`KNOWN_FAMILIES` (case insensitive).
+    params:
+        Family-specific keyword arguments forwarded to the constructor.
+
+    Returns
+    -------
+    Preconditioner | None
+        ``None`` for the ``"none"`` family (solvers treat it as identity).
+
+    Raises
+    ------
+    PreconditionerError
+        Unknown family, or the family's own construction failure (zero
+        diagonal for Jacobi, breakdown for ILU, ...).
+    """
+    key = family.strip().lower()
+    if key == "none":
+        return None
+    if key == "jacobi":
+        return JacobiPreconditioner(matrix, **params)
+    if key == "neumann":
+        return NeumannPreconditioner(matrix, **params)
+    if key == "ilu0":
+        return ILU0Preconditioner(matrix, **params)
+    if key == "ic0":
+        return IncompleteCholeskyPreconditioner(matrix, **params)
+    if key == "spai":
+        return SPAIPreconditioner(matrix, **params)
+    if key == "mcmc":
+        from repro.mcmc.preconditioner import MCMCPreconditioner
+
+        parameters = params.pop("parameters", None)
+        if parameters is None:
+            raise PreconditionerError(
+                "the 'mcmc' family requires a 'parameters' keyword "
+                "(an MCMCParameters instance)")
+        return MCMCPreconditioner(matrix, parameters, **params)
+    raise PreconditionerError(
+        f"unknown preconditioner family {family!r}; "
+        f"expected one of {KNOWN_FAMILIES}")

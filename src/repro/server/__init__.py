@@ -1,0 +1,59 @@
+"""Solve-server subsystem: the serving layer on top of kernels + tuning.
+
+The third layer of the stack (kernels → tuning service → **solve server**):
+an in-process service that accepts a stream of
+:class:`~repro.server.queue.SolveRequest`\\ s, admits or sheds them at a
+bounded queue, groups in-flight work by matrix content fingerprint so
+concurrent requests share one preconditioner build and one multi-rhs solve,
+auto-selects the preconditioner per matrix with full provenance, and exposes
+its behaviour through a metrics registry.
+
+* :mod:`repro.server.queue` — :class:`JobQueue` (admission control,
+  priorities, backpressure, graceful drain), :class:`SolveRequest`,
+  :class:`Job`.
+* :mod:`repro.server.scheduler` — :class:`Scheduler` (fingerprint-batched
+  execution over a :class:`repro.parallel.Executor`), :class:`SolveResponse`.
+* :mod:`repro.server.policy` — :class:`PreconditionerPolicy`
+  (stored reuse → warm start → rule table, deterministic via store
+  snapshots).
+* :mod:`repro.server.telemetry` — :class:`MetricsRegistry` (counters,
+  gauges, latency/iteration histograms, JSON snapshots).
+* :mod:`repro.server.server` — :class:`SolveServer`, the facade with
+  submit / await / drain / shutdown semantics.
+* :mod:`repro.server.cli` — the ``repro-serve`` console entry point.
+"""
+
+from repro.server.queue import (
+    AdmissionError,
+    Job,
+    JobQueue,
+    SolveRequest,
+    REJECT_CLOSED,
+    REJECT_DRAINING,
+    REJECT_INVALID,
+    REJECT_QUEUE_FULL,
+)
+from repro.server.policy import PolicyDecision, PreconditionerPolicy
+from repro.server.scheduler import Scheduler, SolveResponse
+from repro.server.server import SolveServer
+from repro.server.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "AdmissionError",
+    "Job",
+    "JobQueue",
+    "SolveRequest",
+    "REJECT_CLOSED",
+    "REJECT_DRAINING",
+    "REJECT_INVALID",
+    "REJECT_QUEUE_FULL",
+    "PolicyDecision",
+    "PreconditionerPolicy",
+    "Scheduler",
+    "SolveResponse",
+    "SolveServer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,144 @@
+"""``repro-serve`` — submit registry solves to a :class:`SolveServer` from the CLI.
+
+Installed as a console script by ``setup.py``::
+
+    repro-serve 2DFDLaplace_16 --repeat 3 --json out.json
+    repro-serve a00512 --solver gmres --preconditioner ilu0 --rhs random
+    repro-serve --list-matrices
+
+Each invocation builds an in-process server, submits the requested solves
+through the queue (so batching, policy and telemetry behave exactly as in a
+long-running deployment), drains, prints per-request solution statistics and
+the telemetry snapshot, and optionally writes everything as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.matrices.registry import MATRIX_REGISTRY
+from repro.precond.factory import KNOWN_FAMILIES
+from repro.server.queue import SolveRequest
+from repro.server.server import SolveServer
+from repro.version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (exposed for the smoke test)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Solve a registry matrix through the repro solve server "
+                    "and print solution statistics plus telemetry.")
+    parser.add_argument("matrix", nargs="?",
+                        help="registry matrix name (see --list-matrices)")
+    parser.add_argument("--list-matrices", action="store_true",
+                        help="print the known registry matrices and exit")
+    parser.add_argument("--rhs", choices=("ones", "random"), default="ones",
+                        help="right-hand side: all-ones or seeded random "
+                             "(default: ones)")
+    parser.add_argument("--solver", default=None,
+                        choices=("gmres", "bicgstab", "cg"),
+                        help="Krylov solver (default: policy decides)")
+    parser.add_argument("--preconditioner", default="auto",
+                        choices=("auto",) + KNOWN_FAMILIES,
+                        help="preconditioner family (default: auto policy)")
+    parser.add_argument("--rtol", type=float, default=1e-8,
+                        help="relative residual tolerance (default: 1e-8)")
+    parser.add_argument("--maxiter", type=int, default=1000,
+                        help="iteration budget (default: 1000)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="number of requests to submit (distinct seeded "
+                             "rhs with --rhs random; identical otherwise)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the random right-hand sides")
+    parser.add_argument("--store", default=None,
+                        help="observation-store directory for policy reuse "
+                             "and online feedback (default: none)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write responses + telemetry snapshot to PATH")
+    parser.add_argument("--version", action="version",
+                        version=f"repro-serve {__version__}")
+    return parser
+
+
+def _make_rhs(kind: str, dimension: int, seed: int, index: int) -> np.ndarray:
+    if kind == "random":
+        return np.random.default_rng(seed + index).standard_normal(dimension)
+    return np.ones(dimension)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_matrices:
+        for name, spec in MATRIX_REGISTRY.items():
+            print(f"{name:36s} n={spec.dimension:<7d} "
+                  f"symmetric={spec.symmetric} group={spec.group}")
+        return 0
+    if args.matrix is None:
+        parser.error("a matrix name is required (or --list-matrices)")
+    if args.matrix not in MATRIX_REGISTRY:
+        parser.error(f"unknown matrix {args.matrix!r}; "
+                     f"try --list-matrices")
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+
+    dimension = MATRIX_REGISTRY[args.matrix].dimension
+    preconditioner = None if args.preconditioner == "auto" else args.preconditioner
+    with SolveServer(store=args.store) as server:
+        jobs = server.submit_many([
+            SolveRequest(matrix=args.matrix,
+                         rhs=_make_rhs(args.rhs, dimension, args.seed, index),
+                         solver=args.solver,
+                         preconditioner=preconditioner,
+                         rtol=args.rtol,
+                         maxiter=args.maxiter,
+                         tag=f"{args.matrix}[{index}]")
+            for index in range(args.repeat)])
+        server.drain()
+        responses = [job.result() for job in jobs]
+        snapshot = server.telemetry_snapshot()
+
+    exit_code = 0
+    report = []
+    for response in responses:
+        status = "converged" if response.converged else "NOT CONVERGED"
+        print(f"{response.tag}: {status} in {response.iterations} iterations "
+              f"({response.solver} + {response.provenance['built_family']}, "
+              f"origin={response.provenance['origin']}, "
+              f"residual={response.final_residual:.3e}, "
+              f"batched with {response.batch_size - 1} other request(s))")
+        if not response.converged:
+            exit_code = 1
+        report.append({
+            "tag": response.tag,
+            "fingerprint": response.fingerprint,
+            "converged": bool(response.converged),
+            "iterations": int(response.iterations),
+            "final_residual": float(response.final_residual),
+            "solver": response.solver,
+            "provenance": response.provenance,
+            "batch_size": int(response.batch_size),
+            "solution_norm": float(np.linalg.norm(response.solution)),
+        })
+
+    print("\ntelemetry:")
+    print(json.dumps(snapshot, indent=2))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"responses": report, "telemetry": snapshot},
+                      handle, indent=2)
+        print(f"wrote {args.json}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

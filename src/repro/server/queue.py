@@ -1,0 +1,343 @@
+"""Admission-controlled job queue of the solve server.
+
+The front door of the serving layer: a :class:`SolveRequest` is validated and
+either *admitted* — wrapped in a :class:`Job` the caller can wait on — or
+*rejected* with an explicit reason (:class:`AdmissionError`).  Rejection
+instead of unbounded buffering is the backpressure mechanism: a server under
+heavy traffic sheds load at the door rather than growing its queue until
+latency is unbounded.
+
+Semantics
+---------
+* **Bounded depth** — at most ``max_depth`` jobs may be pending; further
+  submissions are rejected with reason ``"queue_full"``.
+* **Priorities** — higher ``priority`` pops first; ties preserve submission
+  order (FIFO within a priority class), so a seeded request stream is
+  processed in a deterministic order.
+* **Graceful drain** — :meth:`JobQueue.drain` temporarily closes admission,
+  waits until every admitted job has finished, then re-opens; :meth:`close`
+  shuts the door permanently (reason ``"closed"``).
+
+The queue itself never executes anything: the scheduler pops batches with
+:meth:`pop_batch` and reports completion through :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ReproError
+from repro.logging_utils import get_logger
+from repro.matrices.registry import MATRIX_REGISTRY
+
+__all__ = [
+    "SolveRequest",
+    "Job",
+    "JobQueue",
+    "AdmissionError",
+    "REJECT_QUEUE_FULL",
+    "REJECT_CLOSED",
+    "REJECT_DRAINING",
+    "REJECT_INVALID",
+]
+
+_LOG = get_logger("server.queue")
+
+#: Rejection reasons reported by :class:`AdmissionError` and counted in
+#: telemetry under ``rejected.<reason>``.
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_CLOSED = "closed"
+REJECT_DRAINING = "draining"
+REJECT_INVALID = "invalid"
+
+
+class AdmissionError(ReproError):
+    """A request was rejected at the door; :attr:`reason` says why."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve job: a matrix (or registry name), a right-hand side, limits.
+
+    Attributes
+    ----------
+    matrix:
+        Either a square sparse matrix or the name of a matrix in
+        :data:`~repro.matrices.registry.MATRIX_REGISTRY` (resolved once per
+        server through the artifact cache).
+    rhs:
+        Right-hand side vector; ``None`` means the all-ones vector.
+    solver:
+        Explicit Krylov solver name, or ``None`` to let the policy choose.
+    preconditioner:
+        Explicit preconditioner family (see
+        :data:`repro.precond.factory.KNOWN_FAMILIES`), or ``None``/"auto"
+        to let the policy choose.
+    rtol / maxiter:
+        Solver limits shared by every solve of this request.
+    priority:
+        Higher values are served first; ties are FIFO.
+    seed:
+        Request seed, reserved for families with stochastic builds.  The
+        *shared* artifacts (MCMC transition tables, preconditioners) are
+        seeded from the matrix fingerprint instead, so that batched and
+        synchronous serving are bit-identical; see
+        :mod:`repro.server.scheduler`.
+    tag:
+        Free-form caller label echoed on the response.
+    """
+
+    matrix: sp.spmatrix | str
+    rhs: np.ndarray | None = None
+    solver: str | None = None
+    preconditioner: str | None = None
+    rtol: float = 1e-8
+    maxiter: int = 1000
+    priority: int = 0
+    seed: int = 0
+    tag: str = ""
+
+
+class Job:
+    """An admitted request: a waitable handle with result / exception."""
+
+    __slots__ = ("id", "request", "state", "_event", "_result", "_error",
+                 "submitted_at", "started_at", "finished_at")
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, job_id: int, request: SolveRequest) -> None:
+        self.id = job_id
+        self.request = request
+        self.state = Job.PENDING
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Exception | None = None
+        self.submitted_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+    def done(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def exception(self) -> Exception | None:
+        """The failure, if any (``None`` while pending/running or on success)."""
+        return self._error
+
+    def result(self, timeout: float | None = None):
+        """Block until the job finishes and return its result.
+
+        Raises the job's exception when it failed, and :class:`TimeoutError`
+        when ``timeout`` elapses first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} did not finish within {timeout} s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result: Any = None,
+                error: Exception | None = None) -> None:
+        self._result = result
+        self._error = error
+        self.state = Job.FAILED if error is not None else Job.DONE
+        self._event.set()
+
+
+def _validate(request: SolveRequest) -> None:
+    """Cheap admission-time validation (full resolution happens at execute)."""
+    if isinstance(request.matrix, str):
+        if request.matrix not in MATRIX_REGISTRY:
+            raise AdmissionError(
+                REJECT_INVALID,
+                f"unknown registry matrix {request.matrix!r}")
+        dimension: int | None = MATRIX_REGISTRY[request.matrix].dimension
+    elif sp.issparse(request.matrix):
+        if request.matrix.shape[0] != request.matrix.shape[1]:
+            raise AdmissionError(
+                REJECT_INVALID,
+                f"matrix must be square, got shape {request.matrix.shape}")
+        dimension = request.matrix.shape[0]
+    else:
+        raise AdmissionError(
+            REJECT_INVALID,
+            f"matrix must be a sparse matrix or a registry name, "
+            f"got {type(request.matrix).__name__}")
+    if request.rhs is not None:
+        rhs = np.asarray(request.rhs)
+        if rhs.ndim != 1 or (dimension is not None and rhs.size != dimension):
+            raise AdmissionError(
+                REJECT_INVALID,
+                f"rhs of shape {rhs.shape} incompatible with matrix "
+                f"dimension {dimension}")
+    if not 0.0 < request.rtol < 1.0:
+        raise AdmissionError(
+            REJECT_INVALID, f"rtol must lie in (0, 1), got {request.rtol}")
+    if request.maxiter < 1:
+        raise AdmissionError(
+            REJECT_INVALID, f"maxiter must be >= 1, got {request.maxiter}")
+
+
+class JobQueue:
+    """Bounded priority queue with admission control and graceful drain.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of *pending* jobs (running jobs do not count against
+        the bound: they already hold their resources).
+    """
+
+    def __init__(self, max_depth: int = 256) -> None:
+        if max_depth < 1:
+            raise AdmissionError(
+                REJECT_INVALID, f"max_depth must be >= 1, got {max_depth}")
+        self._max_depth = int(max_depth)
+        self._heap: list[tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._inflight = 0
+        self._admitted = 0
+        self._closed = False
+        self._draining = False
+        self._condition = threading.Condition()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def max_depth(self) -> int:
+        """Pending-depth bound."""
+        return self._max_depth
+
+    @property
+    def depth(self) -> int:
+        """Number of pending (not yet popped) jobs."""
+        with self._condition:
+            return len(self._heap)
+
+    @property
+    def inflight(self) -> int:
+        """Number of popped jobs not yet reported finished."""
+        with self._condition:
+            return self._inflight
+
+    @property
+    def admitted(self) -> int:
+        """Total jobs admitted over the queue's lifetime."""
+        with self._condition:
+            return self._admitted
+
+    @property
+    def closed(self) -> bool:
+        """Whether admission has been shut permanently."""
+        with self._condition:
+            return self._closed
+
+    def idle(self) -> bool:
+        """True when nothing is pending and nothing is in flight."""
+        with self._condition:
+            return not self._heap and self._inflight == 0
+
+    # -- admission ----------------------------------------------------------
+    def submit(self, request: SolveRequest) -> Job:
+        """Admit ``request`` or raise :class:`AdmissionError` with a reason."""
+        _validate(request)
+        with self._condition:
+            if self._closed:
+                raise AdmissionError(REJECT_CLOSED, "queue is closed")
+            if self._draining:
+                raise AdmissionError(REJECT_DRAINING, "queue is draining")
+            if len(self._heap) >= self._max_depth:
+                raise AdmissionError(
+                    REJECT_QUEUE_FULL,
+                    f"queue depth {len(self._heap)} at its bound "
+                    f"{self._max_depth}")
+            sequence = next(self._sequence)
+            job = Job(sequence, request)
+            # Min-heap: negate priority so higher priorities pop first; the
+            # sequence number breaks ties FIFO and makes entries totally
+            # ordered (Jobs themselves are not comparable).
+            heapq.heappush(self._heap, (-request.priority, sequence, job))
+            self._admitted += 1
+            self._condition.notify_all()
+            return job
+
+    # -- scheduler side -----------------------------------------------------
+    def pop_batch(self, max_jobs: int | None = None,
+                  timeout: float | None = None) -> list[Job]:
+        """Pop up to ``max_jobs`` pending jobs in priority order.
+
+        Blocks up to ``timeout`` seconds for at least one job (no blocking
+        when ``timeout`` is ``None`` or 0).  Popped jobs are marked RUNNING
+        and count as in-flight until :meth:`finish` is called for them.
+        """
+        with self._condition:
+            if not self._heap and timeout:
+                self._condition.wait_for(lambda: bool(self._heap) or self._closed,
+                                         timeout=timeout)
+            batch: list[Job] = []
+            limit = len(self._heap) if max_jobs is None else max_jobs
+            while self._heap and len(batch) < limit:
+                _, _, job = heapq.heappop(self._heap)
+                job.state = Job.RUNNING
+                batch.append(job)
+            self._inflight += len(batch)
+            if batch:
+                self._condition.notify_all()
+            return batch
+
+    def finish(self, job: Job, result: Any = None,
+               error: Exception | None = None) -> None:
+        """Report a popped job finished, waking any :meth:`drain` waiters.
+
+        When the job was already completed by the executor (the scheduler
+        sets results directly), this only performs the in-flight accounting.
+        """
+        if not job.done():
+            job._finish(result, error)
+        with self._condition:
+            self._inflight -= 1
+            self._condition.notify_all()
+
+    # -- lifecycle ----------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully drain: reject new work until everything admitted is done.
+
+        Returns True when the queue went idle within ``timeout`` (admission
+        re-opens either way, unless the queue was closed).  Note that the
+        queue does not execute jobs itself — a scheduler must keep consuming
+        while drain waits, e.g. the server's background worker or its
+        fallback inline loop.
+        """
+        with self._condition:
+            self._draining = True
+            try:
+                idle = self._condition.wait_for(
+                    lambda: not self._heap and self._inflight == 0,
+                    timeout=timeout)
+            finally:
+                self._draining = False
+                self._condition.notify_all()
+            return idle
+
+    def close(self) -> None:
+        """Permanently stop admission (pending jobs may still be processed)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        _LOG.debug("queue closed (%d pending, %d inflight)",
+                   len(self._heap), self._inflight)

@@ -1,0 +1,333 @@
+"""Fingerprint-batched execution of admitted solve jobs.
+
+The economics of the serving layer: concurrent requests over the *same*
+matrix should pay for the expensive per-matrix work — preconditioner
+assembly, MCMC transition tables — exactly once.  The scheduler therefore
+groups the jobs of a batch by ``(matrix fingerprint, requested solver,
+requested preconditioner, rtol, maxiter)``:
+
+* one **policy decision** per group (see
+  :class:`~repro.server.policy.PreconditionerPolicy`),
+* one **preconditioner build** per group, shared process-wide through the
+  :class:`~repro.service.cache.ArtifactCache` under
+  :meth:`PolicyDecision.cache_key` — a later batch (or a synchronous call)
+  over the same matrix is a cache hit, not a rebuild,
+* one **multi-rhs solve** (:func:`repro.krylov.solve_many`) over the group's
+  stacked right-hand sides.
+
+Groups run through a :class:`repro.parallel.Executor` via
+:meth:`~repro.parallel.executor.Executor.run_settled`, so one group's failure
+surfaces on its own jobs while every other group completes.
+
+Determinism
+-----------
+Every response is a deterministic function of its request alone: the policy
+decides from a store snapshot, shared builds are seeded from the matrix
+fingerprint (never from request seeds or arrival order), and the multi-rhs
+solve is arithmetically identical to independent single-rhs solves.  Serving
+a seeded request stream synchronously or through the queue therefore yields
+bit-identical solutions.
+
+When an :class:`~repro.service.store.ObservationStore` is attached, MCMC
+solves additionally measure the unpreconditioned baseline (cached per
+``(fingerprint, solver, regime)``) and persist a
+:class:`~repro.core.evaluation.PerformanceRecord` — online traffic keeps
+making the tuning layer's future recommendations cheaper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.evaluation import (
+    PerformanceRecord,
+    SolverSettings,
+    measurement_regime,
+)
+from repro.exceptions import PreconditionerError
+from repro.krylov.solve import solve, solve_many
+from repro.logging_utils import get_logger
+from repro.matrices.features import feature_vector
+from repro.matrices.registry import get_matrix
+from repro.mcmc.preconditioner import MCMCPreconditioner
+from repro.mcmc.walks import TransitionTable
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.precond.factory import make_preconditioner
+from repro.server.policy import PolicyDecision, PreconditionerPolicy
+from repro.server.queue import Job
+from repro.server.telemetry import MetricsRegistry
+from repro.service.cache import ArtifactCache, transition_table_key
+from repro.service.store import ObservationStore
+from repro.sparse.csr import validate_square
+from repro.sparse.fingerprint import content_hash, matrix_fingerprint
+from repro.sparse.splitting import jacobi_splitting
+
+__all__ = ["SolveResponse", "Scheduler"]
+
+_LOG = get_logger("server.scheduler")
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """What the server returns for one request."""
+
+    tag: str
+    job_id: int
+    fingerprint: str
+    solution: np.ndarray
+    converged: bool
+    iterations: int
+    final_residual: float
+    solver: str
+    provenance: dict
+    batch_size: int
+
+
+@dataclass
+class _Group:
+    """Jobs sharing (fingerprint, solver, preconditioner, rtol, maxiter)."""
+
+    fingerprint: str
+    matrix: sp.csr_matrix
+    name: str
+    solver: str | None
+    preconditioner: str | None
+    rtol: float
+    maxiter: int
+    jobs: list[Job] = field(default_factory=list)
+
+
+def _fingerprint_seed(fingerprint: str) -> int:
+    """Deterministic build seed derived from the matrix identity.
+
+    Shared artifacts must not be seeded from request seeds: two requests
+    batched together share one build, so the build may depend only on the
+    matrix — this is what keeps batched and synchronous serving
+    bit-identical.
+    """
+    return int(fingerprint[:8], 16) % (2 ** 31 - 1)
+
+
+class Scheduler:
+    """Executes job batches: group, decide, build once, multi-rhs solve.
+
+    Parameters
+    ----------
+    policy:
+        The preconditioner policy (auto-selection + provenance).
+    cache:
+        Shared artifact cache for preconditioners, transition tables,
+        resolved registry matrices and baseline iteration counts.
+    executor:
+        Runs independent groups concurrently; serial when ``None``.
+    telemetry:
+        Metrics registry fed by every execution.
+    store:
+        Optional observation store: MCMC solves are measured against the
+        cached unpreconditioned baseline and persisted.
+    """
+
+    def __init__(self, *, policy: PreconditionerPolicy, cache: ArtifactCache,
+                 executor: Executor | None = None,
+                 telemetry: MetricsRegistry | None = None,
+                 store: ObservationStore | None = None,
+                 record_observations: bool = True) -> None:
+        self.policy = policy
+        self.cache = cache
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.store = store
+        self.record_observations = record_observations
+        self._registered_fingerprints: set[str] = set()
+
+    # -- batch execution ----------------------------------------------------
+    def execute(self, jobs: list[Job]) -> None:
+        """Run a batch of jobs to completion, finishing every job.
+
+        Jobs whose group fails (unresolvable matrix, solver error) finish
+        with that exception; the remaining groups are unaffected.
+        """
+        if not jobs:
+            return
+        groups = self._group(jobs)
+        self.telemetry.histogram("scheduler.groups_per_batch").observe(len(groups))
+        settled = self.executor.run_settled(self._run_group, groups)
+        for group, (_, error) in zip(groups, settled):
+            if error is not None:
+                _LOG.warning("group %s failed: %s", group.fingerprint[:8], error)
+                for job in group.jobs:
+                    if not job.done():
+                        self.telemetry.counter("jobs_failed").add(1)
+                        job._finish(error=error)
+
+    def _group(self, jobs: list[Job]) -> list[_Group]:
+        groups: dict[tuple, _Group] = {}
+        for job in jobs:
+            request = job.request
+            try:
+                matrix, name = self._resolve_matrix(request.matrix)
+                fingerprint = self._fingerprint(matrix)
+            except Exception as error:  # noqa: BLE001 - surfaced on the job
+                self.telemetry.counter("jobs_failed").add(1)
+                job._finish(error=error)
+                continue
+            key = (fingerprint, request.solver, request.preconditioner,
+                   float(request.rtol), int(request.maxiter))
+            if key not in groups:
+                groups[key] = _Group(
+                    fingerprint=fingerprint, matrix=matrix, name=name,
+                    solver=request.solver,
+                    preconditioner=request.preconditioner,
+                    rtol=float(request.rtol), maxiter=int(request.maxiter))
+            groups[key].jobs.append(job)
+        return list(groups.values())
+
+    def _resolve_matrix(self, matrix: sp.spmatrix | str
+                        ) -> tuple[sp.csr_matrix, str]:
+        if isinstance(matrix, str):
+            resolved = self.cache.get_or_build(
+                ("registry_matrix", matrix), lambda: get_matrix(matrix))
+            return resolved, matrix
+        return validate_square(matrix), ""
+
+    def _fingerprint(self, matrix: sp.csr_matrix) -> str:
+        # id()-keyed memo would be unsound across gc; fingerprinting is one
+        # pass over the non-zeros and stays far below a solve's cost.
+        return matrix_fingerprint(matrix)
+
+    # -- one group ----------------------------------------------------------
+    def _run_group(self, group: _Group) -> None:
+        start = time.perf_counter()
+        decision = self.policy.decide(
+            group.matrix, group.fingerprint,
+            solver=group.solver, preconditioner=group.preconditioner)
+        preconditioner, built_family = self._preconditioner(group, decision)
+        settings = SolverSettings(rtol=group.rtol, maxiter=group.maxiter)
+        kwargs = settings.solver_kwargs(decision.solver, group.matrix.shape[0])
+
+        n = group.matrix.shape[0]
+        columns = [np.ones(n) if job.request.rhs is None
+                   else np.asarray(job.request.rhs, dtype=np.float64).ravel()
+                   for job in group.jobs]
+        results = solve_many(group.matrix, columns, solver=decision.solver,
+                             preconditioner=preconditioner, **kwargs)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+
+        provenance = decision.provenance()
+        provenance["built_family"] = built_family
+        batch = len(group.jobs)
+        self.telemetry.histogram("solve.batch_size").observe(batch)
+        for job, column, result in zip(group.jobs, columns, results):
+            response = SolveResponse(
+                tag=job.request.tag,
+                job_id=job.id,
+                fingerprint=group.fingerprint,
+                solution=result.solution,
+                converged=result.converged,
+                iterations=result.iterations,
+                final_residual=result.final_residual,
+                solver=decision.solver,
+                provenance=dict(provenance),
+                batch_size=batch,
+            )
+            self.telemetry.counter("solves_total").add(1)
+            if not result.converged:
+                self.telemetry.counter("solves_not_converged").add(1)
+            self.telemetry.histogram("solve.iterations").observe(result.iterations)
+            # Every caller in the group waited for the whole group, so the
+            # honest per-request latency is the full elapsed time; the
+            # batching win shows up in the amortised-cost histogram.
+            self.telemetry.histogram("solve.latency_ms").observe(elapsed_ms)
+            self.telemetry.histogram(
+                "solve.amortised_cost_ms").observe(elapsed_ms / batch)
+            self._record_observation(group, decision, built_family, settings,
+                                     column, result.iterations)
+            job.finished_at = time.perf_counter()
+            job._finish(result=response)
+
+    # -- preconditioner assembly (shared through the cache) ------------------
+    def _preconditioner(self, group: _Group, decision: PolicyDecision):
+        """The built preconditioner for this decision, building at most once.
+
+        The cache entry stores ``(preconditioner, built_family)``;
+        ``built_family`` differs from ``decision.family`` when construction
+        broke down and the deterministic identity fallback was used.
+        """
+        self.telemetry.counter("precond.requests").add(1)
+
+        def build():
+            self.telemetry.counter("precond.builds").add(1)
+            try:
+                return self._build(group, decision), decision.family
+            except PreconditionerError as error:
+                # Deterministic fallback: same decision -> same failure ->
+                # same identity operator, so cached and fresh paths agree.
+                self.telemetry.counter("precond.fallbacks").add(1)
+                _LOG.warning("%s build failed for %s (%s); "
+                             "falling back to identity",
+                             decision.family, group.fingerprint[:8], error)
+                return None, "none"
+
+        return self.cache.get_or_build(
+            decision.cache_key(group.fingerprint), build)
+
+    def _build(self, group: _Group, decision: PolicyDecision):
+        if decision.family == "mcmc":
+            parameters = decision.mcmc_parameters()
+            table = self.cache.get_or_build(
+                transition_table_key(group.fingerprint, parameters.alpha),
+                lambda: TransitionTable(
+                    jacobi_splitting(group.matrix,
+                                     parameters.alpha).iteration_matrix))
+            return MCMCPreconditioner(
+                group.matrix, parameters,
+                seed=_fingerprint_seed(group.fingerprint),
+                transition_table=table)
+        return make_preconditioner(decision.family, group.matrix,
+                                   **dict(decision.params))
+
+    # -- store feedback ------------------------------------------------------
+    def _record_observation(self, group: _Group, decision: PolicyDecision,
+                            built_family: str, settings: SolverSettings,
+                            rhs: np.ndarray, iterations: int) -> None:
+        """Persist an MCMC solve as a performance record (store feedback).
+
+        Only genuine MCMC builds are recorded — they are the observations
+        the tuning layer consumes.  The unpreconditioned baseline is cached
+        per ``(fingerprint, solver, regime)`` so a traffic wave pays for it
+        once.
+        """
+        if (self.store is None or not self.record_observations
+                or built_family != "mcmc"):
+            return
+        regime = measurement_regime(settings, rhs)
+        baseline = self.cache.get_or_build(
+            ("server_baseline", group.fingerprint, decision.solver, regime),
+            lambda: self._baseline(group, decision.solver, settings, rhs))
+        if group.fingerprint not in self._registered_fingerprints:
+            self.store.register_matrix(group.fingerprint,
+                                       group.name or group.fingerprint[:12],
+                                       feature_vector(group.matrix))
+            self._registered_fingerprints.add(group.fingerprint)
+        iterations = max(int(iterations), 1)
+        record = PerformanceRecord(
+            parameters=decision.mcmc_parameters(),
+            matrix_name=group.name or group.fingerprint[:12],
+            baseline_iterations=baseline,
+            preconditioned_iterations=[iterations],
+            y_values=[iterations / baseline],
+        )
+        if self.store.put_record(group.fingerprint, record,
+                                 context=f"{regime}:server"):
+            self.telemetry.counter("store.records_written").add(1)
+
+    def _baseline(self, group: _Group, solver: str,
+                  settings: SolverSettings, rhs: np.ndarray) -> int:
+        kwargs = settings.solver_kwargs(solver, group.matrix.shape[0])
+        result = solve(group.matrix, rhs, solver=solver, **kwargs)
+        iterations = result.iterations if result.converged else settings.maxiter
+        return max(int(iterations), 1)

@@ -1,0 +1,267 @@
+"""The :class:`SolveServer` facade: submit / await / drain / shutdown.
+
+This is the front door the rest of the stack (CLI, examples, benchmarks,
+embedding applications) talks to.  It wires together the four server parts —
+admission queue, fingerprint-batching scheduler, preconditioner policy and
+telemetry — on top of the PR-2 service layer (artifact cache + observation
+store).
+
+Two serving modes, same arithmetic:
+
+* **Synchronous** — :meth:`solve` executes the request immediately in the
+  calling thread (through the same scheduler path, batch of one).
+* **Queued** — :meth:`submit` admits the request and returns a
+  :class:`~repro.server.queue.Job`; a background worker (started lazily, or
+  explicitly with :meth:`start`) pops priority-ordered batches and executes
+  them.  :meth:`drain` gracefully quiesces: admission pauses, everything
+  admitted completes, admission re-opens.
+
+Because policy decisions come from a store snapshot and shared builds are
+seeded from matrix fingerprints, a seeded request stream produces
+bit-identical solutions in either mode — batching is purely an efficiency
+lever, never a semantic one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import ParameterError
+from repro.logging_utils import get_logger
+from repro.mcmc.parameters import DEFAULT_BOUNDS, ParameterBounds
+from repro.parallel.executor import Executor
+from repro.server.policy import PreconditionerPolicy
+from repro.server.queue import Job, JobQueue, SolveRequest
+from repro.server.scheduler import Scheduler, SolveResponse
+from repro.server.telemetry import MetricsRegistry
+from repro.service.cache import ArtifactCache, global_cache
+from repro.service.store import ObservationStore
+
+__all__ = ["SolveServer"]
+
+_LOG = get_logger("server")
+
+
+class SolveServer:
+    """In-process solve service with admission control and batched scheduling.
+
+    Parameters
+    ----------
+    store:
+        Observation store (path or open store) for policy reuse and online
+        feedback; ``None`` disables both.
+    cache:
+        Shared artifact cache; the process-wide cache when ``None``.
+    executor:
+        Executor running independent request groups; serial when ``None``.
+    max_queue_depth:
+        Admission bound of the queue (backpressure threshold).
+    batch_max:
+        Maximum jobs popped per scheduling round (``None`` = everything
+        pending, maximising fingerprint-sharing within a round).
+    record_observations:
+        Whether MCMC solves are persisted into ``store`` as performance
+        records.
+    bounds:
+        Parameter box for warm-started MCMC parameters.
+    background:
+        When True (default) :meth:`submit` lazily starts a background
+        worker that consumes the queue.  When False, admitted jobs wait
+        until :meth:`drain` executes them inline — queued requests then
+        accumulate first and batch maximally, which is both the
+        deterministic mode tests rely on and the highest-throughput mode
+        for offline bulk serving.
+    """
+
+    def __init__(self, *, store: ObservationStore | str | None = None,
+                 cache: ArtifactCache | None = None,
+                 executor: Executor | None = None,
+                 max_queue_depth: int = 256,
+                 batch_max: int | None = None,
+                 record_observations: bool = True,
+                 bounds: ParameterBounds = DEFAULT_BOUNDS,
+                 background: bool = True,
+                 telemetry: MetricsRegistry | None = None) -> None:
+        self.store = (ObservationStore(store)
+                      if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
+                      else store)
+        self.cache = cache if cache is not None else global_cache()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.policy = PreconditionerPolicy(self.store, bounds=bounds)
+        self.queue = JobQueue(max_depth=max_queue_depth)
+        self.scheduler = Scheduler(
+            policy=self.policy, cache=self.cache, executor=executor,
+            telemetry=self.telemetry, store=self.store,
+            record_observations=record_observations)
+        if batch_max is not None and batch_max < 1:
+            raise ParameterError(
+                f"batch_max must be >= 1 (or None), got {batch_max}")
+        self._batch_max = batch_max
+        self._background = bool(background)
+        self._worker: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- synchronous serving -------------------------------------------------
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Serve one request immediately in the calling thread.
+
+        Runs through the exact scheduler path a queued batch takes (policy,
+        shared cache, multi-rhs solve of a batch of one), so the answer is
+        bit-identical to the queued route.
+        """
+        job = self._admit(request)
+        # Claim jobs for inline execution.  Under a running background
+        # worker this may also pick up other pending jobs — they would have
+        # been served next anyway; serving them here just shortens the queue.
+        batch = self.queue.pop_batch()
+        self._execute(batch)
+        # If the background worker raced us to the batch, result() waits.
+        return job.result()
+
+    # -- queued serving ------------------------------------------------------
+    def submit(self, request: SolveRequest) -> Job:
+        """Admit a request into the queue and return its job handle.
+
+        Raises :class:`~repro.server.queue.AdmissionError` (with a reason)
+        when the request is invalid, the queue is full, draining or closed.
+        The job is executed by the background worker (started lazily) —
+        call :meth:`drain` to force completion of everything admitted.
+        """
+        job = self._admit(request)
+        if self._background:
+            self._ensure_worker()
+        return job
+
+    def submit_many(self, requests: list[SolveRequest]) -> list[Job]:
+        """Submit several requests; admission failures abort the remainder."""
+        return [self.submit(request) for request in requests]
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Start the background worker explicitly (submit also starts it)."""
+        self._ensure_worker()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Complete everything admitted; pause admission while waiting.
+
+        Returns True when the server went idle within ``timeout``.  With no
+        background worker running, pending jobs are executed inline in the
+        calling thread — a deterministic, thread-free mode tests and batch
+        scripts rely on.
+        """
+        if self._worker is not None and self._worker.is_alive():
+            return self.queue.drain(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            batch = self.queue.pop_batch(self._batch_max)
+            if batch:
+                self._execute(batch)
+                continue
+            # queue.drain pauses admission while it confirms idleness, so a
+            # submission racing the empty pop above either loses (rejected
+            # as "draining") or was admitted first — in which case drain
+            # reports non-idle and the loop goes back to executing it.
+            if self.queue.drain(timeout=0):
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            # Not idle but nothing poppable: another thread holds in-flight
+            # jobs (e.g. a concurrent solve()); yield instead of spinning.
+            time.sleep(0.001)
+
+    def shutdown(self, timeout: float | None = 30.0) -> None:
+        """Close admission, finish admitted work, stop the worker."""
+        self.queue.close()
+        self.drain(timeout=timeout)
+        self._stop.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=5.0)
+        self._worker = None
+        _LOG.info("server shut down (%d jobs served)",
+                  self.telemetry.counter("solves_total").value)
+
+    def __enter__(self) -> "SolveServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- observability -------------------------------------------------------
+    def telemetry_snapshot(self) -> dict:
+        """Metrics snapshot including queue state and artifact-cache stats."""
+        self._observe_depth()
+        snapshot = self.telemetry.snapshot()
+        snapshot["queue"] = {
+            "depth": self.queue.depth,
+            "inflight": self.queue.inflight,
+            "admitted": self.queue.admitted,
+            "max_depth": self.queue.max_depth,
+            "closed": self.queue.closed,
+        }
+        snapshot["artifact_cache"] = self.cache.stats.as_dict()
+        return snapshot
+
+    def refresh_policy(self) -> None:
+        """Re-snapshot the store so decisions see records written since."""
+        self.policy.refresh()
+
+    # -- internals -----------------------------------------------------------
+    def _admit(self, request: SolveRequest) -> Job:
+        try:
+            job = self.queue.submit(request)
+        except Exception as error:
+            reason = getattr(error, "reason", "error")
+            self.telemetry.counter(f"rejected.{reason}").add(1)
+            raise
+        self.telemetry.counter("requests_admitted").add(1)
+        self._observe_depth()
+        return job
+
+    def _observe_depth(self) -> None:
+        self.telemetry.gauge("queue.depth").set(self.queue.depth)
+        self.telemetry.gauge("queue.inflight").set(self.queue.inflight)
+
+    def _execute(self, batch: list[Job]) -> None:
+        if not batch:
+            return
+        try:
+            self.scheduler.execute(batch)
+        except Exception as error:  # noqa: BLE001 - must fail the jobs
+            # An error escaping the scheduler (e.g. an executor that cannot
+            # ship Job objects) must fail the affected jobs; falling through
+            # would mark them DONE with a None result.
+            _LOG.exception("batch execution failed")
+            for job in batch:
+                if not job.done():
+                    self.telemetry.counter("jobs_failed").add(1)
+                    job._finish(error=error)
+        finally:
+            for job in batch:
+                self.queue.finish(job)
+            self.telemetry.counter("batches_executed").add(1)
+            self._observe_depth()
+
+    def _ensure_worker(self) -> None:
+        with self._lock:
+            if self._worker is not None and self._worker.is_alive():
+                return
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="solve-server-worker",
+                daemon=True)
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.pop_batch(self._batch_max, timeout=0.05)
+            if batch:
+                self._execute(batch)
+            elif self.queue.closed and self.queue.idle():
+                return
+            else:
+                # pop_batch already waited on the condition; yield briefly to
+                # avoid a hot loop when the queue stays empty.
+                time.sleep(0.001)

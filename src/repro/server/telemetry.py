@@ -1,0 +1,208 @@
+"""Metrics registry of the solve server.
+
+Serving a stream of solve requests is only tunable if the server can answer
+"what happened": how many requests were admitted or rejected (and why), how
+deep the queue is, how long solves took, how many iterations they needed, how
+often the artifact cache saved a preconditioner build.  This module provides
+the three classic instrument kinds —
+
+* :class:`Counter` — monotonically increasing event count,
+* :class:`Gauge` — last-written value (queue depth, in-flight jobs),
+* :class:`Histogram` — distribution of observations with quantile estimates
+  (latency, iteration counts, batch sizes),
+
+— collected in a thread-safe :class:`MetricsRegistry` whose :meth:`snapshot`
+is a plain JSON-serialisable dict (the CI benchmark artifact and the
+``repro-serve`` CLI both print it verbatim).
+
+Instruments are created on first use (``registry.counter("x").add(1)``), so
+call sites never need registration boilerplate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default cap on retained histogram samples.  Beyond it the histogram keeps
+#: exact count / sum / min / max but estimates quantiles from the retained
+#: prefix — bounded memory under sustained traffic.
+DEFAULT_MAX_SAMPLES = 65_536
+
+
+class Counter:
+    """Monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ParameterError(
+                f"counter {self.name}: increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += int(amount)
+
+
+class Gauge:
+    """Last-written value (e.g. current queue depth)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        with self._lock:
+            return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += float(delta)
+
+
+class Histogram:
+    """Distribution of float observations with quantile estimates.
+
+    Keeps exact ``count`` / ``sum`` / ``min`` / ``max`` for every observation
+    and retains up to ``max_samples`` raw values for quantile estimation.
+    """
+
+    def __init__(self, name: str, *,
+                 max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ParameterError(
+                f"histogram {name}: max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self._max_samples = int(max_samples)
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        with self._lock:
+            return self._count
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]); ``nan`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return float("nan")
+            return float(np.quantile(np.asarray(self._samples), q))
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / min / p50 / p95 / max as a plain dict."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "mean": float("nan"), "min": float("nan"),
+                        "p50": float("nan"), "p95": float("nan"),
+                        "max": float("nan")}
+            samples = np.asarray(self._samples)
+            return {
+                "count": self._count,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "p50": float(np.quantile(samples, 0.50)),
+                "p95": float(np.quantile(samples, 0.95)),
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-able to JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created when missing)."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created when missing)."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str, *,
+                  max_samples: int = DEFAULT_MAX_SAMPLES) -> Histogram:
+        """The histogram registered under ``name`` (created when missing)."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, max_samples=max_samples)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Every instrument's current state as a JSON-serialisable dict.
+
+        ``nan`` values (empty histograms) are mapped to ``None`` so the
+        result round-trips through strict JSON parsers.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+
+        def clean(value: float) -> float | None:
+            return None if isinstance(value, float) and np.isnan(value) else value
+
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: {key: clean(val) for key, val in h.summary().items()}
+                for name, h in sorted(histograms.items())
+            },
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The snapshot rendered as a JSON string."""
+        return json.dumps(self.snapshot(), indent=indent)

@@ -13,6 +13,14 @@ Layout (one directory per store)::
     root/
       index.jsonl          # one JSON object per line: records + matrix entries
       payloads/<key>.npz   # replication arrays of each performance record
+      payloads/batch-<hash>.npz   # batched payloads written by compact()
+
+Long-lived stores accumulate one small ``.npz`` per record; :meth:`compact`
+folds them into batched payload files (index lines then reference
+``batch-<hash>.npz#<key>``) and rewrites the index atomically.  A
+``{"kind": "meta", "generation": ...}`` header line marks each rewrite so
+open readers detect it and fall back to a full reload — compaction is
+invisible to them.
 
 Durability model
 ----------------
@@ -131,6 +139,7 @@ class ObservationStore:
         self._by_fingerprint: dict[str, list[str]] = {}
         self._matrices: dict[str, MatrixEntry] = {}
         self._index_offset = 0
+        self._generation: str | None = None
         self.reload(full=True)
 
     # -- pickling (ProcessExecutor workers append into the same store) ------
@@ -279,17 +288,28 @@ class ObservationStore:
         appending to the same directory) become visible here.  Returns the
         number of new records ingested.  ``full=True`` re-reads from the
         beginning (used by the constructor).
+
+        A rewrite of the index by another process's :meth:`compact` is
+        detected (the generation header changed, or the file shrank below
+        the read offset) and triggers an automatic full re-read, so open
+        readers survive compaction transparently.
         """
         with self._lock:
-            if full:
-                self._records.clear()
-                self._by_fingerprint.clear()
-                self._matrices.clear()
-                self._index_offset = 0
-            before = len(self._records)
             if not self._index_path.exists():
+                if full:
+                    self._reset_view()
                 return 0
+            # "New" means new relative to the pre-reload view — a forced
+            # full re-read after a compaction rewrite re-ingests everything
+            # but reports only genuinely unseen records.
+            previous_keys = set(self._records)
             with open(self._index_path, "rb") as handle:
+                generation = self._peek_generation(handle)
+                size = os.fstat(handle.fileno()).st_size
+                if (full or generation != self._generation
+                        or size < self._index_offset):
+                    self._reset_view()
+                    self._generation = generation
                 handle.seek(self._index_offset)
                 for raw_bytes in handle:
                     if not raw_bytes.endswith(b"\n"):
@@ -310,7 +330,107 @@ class ObservationStore:
                         self._ingest_record_line(line)
                     elif line.get("kind") == "matrix":
                         self._ingest_matrix_line(line)
-            return len(self._records) - before
+            return len(set(self._records) - previous_keys)
+
+    def compact(self, *, batch_size: int = 512) -> dict:
+        """Fold per-record payload files into batched ``.npz`` files.
+
+        Long-lived stores accumulate one small payload file per record; this
+        rewrites the payload layout into files of up to ``batch_size``
+        records each (index lines then reference ``batch-<hash>.npz#<key>``)
+        and replaces the index atomically.  The logical contents are
+        untouched: a reload before and after compaction yields identical
+        records, and open readers detect the rewrite via the generation
+        header (see :meth:`reload`).
+
+        Same-process writers are serialised by the store lock.  Compaction
+        is a store-owner maintenance operation: another *process* appending
+        concurrently can race the index rewrite and should be quiesced
+        first (appends made after the rewrite land in the new index and are
+        picked up normally).
+
+        Returns a summary dict (record/batch-file counts, files removed).
+        """
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be >= 1, got {batch_size}")
+        with self._lock:
+            # Fold in anything concurrent writers appended before rewriting.
+            self.reload()
+            records = list(self._records.values())
+            payload_of: dict[str, str] = {}
+            batch_files: list[str] = []
+            for start in range(0, len(records), batch_size):
+                chunk = records[start:start + batch_size]
+                arrays: dict[str, np.ndarray] = {}
+                for stored in chunk:
+                    arrays[f"y__{stored.key}"] = np.asarray(
+                        stored.y_values, dtype=np.float64)
+                    arrays[f"it__{stored.key}"] = np.asarray(
+                        stored.preconditioned_iterations, dtype=np.int64)
+                name = f"batch-{content_hash(*[r.key for r in chunk])}.npz"
+                path = self._payload_dir / name
+                tmp = path.with_suffix(".tmp")
+                with open(tmp, "wb") as handle:
+                    np.savez(handle, **arrays)
+                os.replace(tmp, path)
+                batch_files.append(name)
+                for stored in chunk:
+                    payload_of[stored.key] = f"{name}#{stored.key}"
+
+            generation = content_hash(
+                "generation", str(len(records)), *sorted(payload_of.values()))
+            lines: list[dict] = [{"kind": "meta", "generation": generation}]
+            for entry in self._matrices.values():
+                lines.append({
+                    "kind": "matrix",
+                    "fingerprint": entry.fingerprint,
+                    "name": entry.name,
+                    "features": (None if entry.features is None else
+                                 [float(v) for v in np.ravel(entry.features)]),
+                })
+            for stored in records:
+                record = stored.to_record()
+                lines.append({
+                    "kind": "record",
+                    "key": stored.key,
+                    "fingerprint": stored.fingerprint,
+                    "context": stored.context,
+                    "matrix_name": stored.matrix_name,
+                    "alpha": stored.parameters.alpha,
+                    "eps": stored.parameters.eps,
+                    "delta": stored.parameters.delta,
+                    "solver": stored.parameters.solver,
+                    "param_hash": parameter_hash(stored.parameters),
+                    "baseline_iterations": stored.baseline_iterations,
+                    "y_mean": record.y_mean,
+                    "y_std": record.y_std,
+                    "payload": payload_of[stored.key],
+                })
+            tmp_index = self._index_path.with_suffix(".jsonl.tmp")
+            with open(tmp_index, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_index, self._index_path)
+            self._index_offset = self._index_path.stat().st_size
+            self._generation = generation
+
+            keep = set(batch_files)
+            removed = 0
+            for path in self._payload_dir.glob("*.npz"):
+                if path.name not in keep:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+            _LOG.info("compacted %s: %d records into %d batch file(s), "
+                      "%d payload file(s) removed",
+                      self._root, len(records), len(batch_files), removed)
+            return {
+                "records": len(records),
+                "batch_files": len(batch_files),
+                "payload_files_removed": removed,
+            }
 
     def merge_from(self, other: "ObservationStore | str | Path") -> int:
         """Fold every record of ``other`` into this store; returns new count."""
@@ -328,6 +448,31 @@ class ObservationStore:
         return merged
 
     # -- internals ----------------------------------------------------------
+    def _reset_view(self) -> None:
+        self._records.clear()
+        self._by_fingerprint.clear()
+        self._matrices.clear()
+        self._index_offset = 0
+        self._generation = None
+
+    @staticmethod
+    def _peek_generation(handle) -> str | None:
+        """Generation id from the index header line, ``None`` pre-compaction.
+
+        Leaves the handle position unspecified; callers seek afterwards.
+        """
+        handle.seek(0)
+        first = handle.readline()
+        if not first.endswith(b"\n"):
+            return None
+        try:
+            line = json.loads(first.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError:
+            return None
+        if isinstance(line, dict) and line.get("kind") == "meta":
+            return line.get("generation")
+        return None
+
     def _write_payload(self, payload_name: str, record: PerformanceRecord) -> None:
         path = self._payload_dir / payload_name
         tmp = path.with_suffix(".tmp")
@@ -354,14 +499,21 @@ class ObservationStore:
 
     def _load_payload(self, payload_name: str) -> tuple[tuple[float, ...],
                                                         tuple[int, ...]] | None:
+        # Two reference forms: "<key>.npz" (one file per record, the append
+        # path) and "batch-<hash>.npz#<key>" (written by compact()).
+        key = None
+        if "#" in payload_name:
+            payload_name, key = payload_name.split("#", 1)
         path = self._payload_dir / payload_name
         if not path.exists():
             return None
+        y_name = "y_values" if key is None else f"y__{key}"
+        it_name = ("preconditioned_iterations" if key is None
+                   else f"it__{key}")
         try:
             with np.load(path) as payload:
-                y_values = tuple(float(v) for v in payload["y_values"])
-                iterations = tuple(int(v)
-                                   for v in payload["preconditioned_iterations"])
+                y_values = tuple(float(v) for v in payload[y_name])
+                iterations = tuple(int(v) for v in payload[it_name])
         except (OSError, ValueError, KeyError) as error:
             _LOG.warning("skipping record with unreadable payload %s: %s",
                          path, error)

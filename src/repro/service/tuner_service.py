@@ -32,7 +32,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.core.evaluation import (
@@ -42,7 +41,7 @@ from repro.core.evaluation import (
 )
 from repro.exceptions import ParameterError
 from repro.logging_utils import get_logger
-from repro.matrices.features import feature_vector
+from repro.matrices.features import feature_vector, nearest_feature_neighbour
 from repro.mcmc.parameters import (
     DEFAULT_BOUNDS,
     MCMCParameters,
@@ -261,19 +260,12 @@ class TuningService:
         entries = [entry for fp, entry in self.store.matrix_entries().items()
                    if fp != fingerprint and entry.features is not None
                    and self.store.query(fingerprint=fp)]
-        if not entries:
+        found = nearest_feature_neighbour(
+            [entry.features for entry in entries], feature_vector(matrix))
+        if found is None:
             return None
-        target = feature_vector(matrix)
-        stack = np.stack([entry.features for entry in entries] + [target])
-        # Standardise across the store so no single large-scale feature
-        # (e.g. max_degree) dominates the distance.
-        scale = stack.std(axis=0)
-        scale[scale == 0.0] = 1.0
-        normalised = (stack - stack.mean(axis=0)) / scale
-        distances = np.linalg.norm(normalised[:-1] - normalised[-1], axis=1)
-        best = int(np.argmin(distances))
-        return (entries[best].fingerprint, entries[best].name,
-                float(distances[best]))
+        best, distance = found
+        return entries[best].fingerprint, entries[best].name, distance
 
     # -- recommendation -----------------------------------------------------
     @staticmethod

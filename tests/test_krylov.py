@@ -258,3 +258,43 @@ class TestDispatcher:
         matrix, rhs, _ = spd_system
         with pytest.raises(MatrixFormatError):
             solve(matrix, rhs, solver="gmres", preconditioner=np.eye(3))
+
+
+class TestSolveMany:
+    """Multi-rhs batching must be arithmetically identical to single solves."""
+
+    def test_columns_match_single_solves_bitwise(self, spd_system):
+        from repro.krylov import solve_many
+
+        matrix, rhs, _ = spd_system
+        block = np.stack([rhs, 2.0 * rhs, rhs - 1.0], axis=1)
+        preconditioner = JacobiPreconditioner(matrix)
+        batched = solve_many(matrix, block, solver="cg",
+                             preconditioner=preconditioner, rtol=1e-10)
+        for column_index, result in enumerate(batched):
+            single = solve(matrix, block[:, column_index], solver="cg",
+                           preconditioner=preconditioner, rtol=1e-10)
+            assert result.iterations == single.iterations
+            assert np.array_equal(result.solution, single.solution)
+
+    def test_accepts_sequence_of_vectors(self, spd_system):
+        from repro.krylov import solve_many
+
+        matrix, rhs, _ = spd_system
+        results = solve_many(matrix, [rhs, rhs], solver="gmres")
+        assert len(results) == 2
+        assert np.array_equal(results[0].solution, results[1].solution)
+
+    def test_empty_block_rejected(self, spd_system):
+        from repro.krylov import solve_many
+
+        matrix, rhs, _ = spd_system
+        with pytest.raises(MatrixFormatError):
+            solve_many(matrix, np.empty((rhs.size, 0)))
+
+    def test_mismatched_column_lengths_rejected(self, spd_system):
+        from repro.krylov import solve_many
+
+        matrix, rhs, _ = spd_system
+        with pytest.raises(MatrixFormatError):
+            solve_many(matrix, [rhs, rhs[:-1]])

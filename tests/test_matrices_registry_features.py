@@ -94,3 +94,69 @@ class TestFeatures:
     def test_rejects_rectangular(self):
         with pytest.raises(MatrixFormatError):
             matrix_features(np.ones((2, 3)))
+
+
+class TestStructuralFlags:
+    """Predicates behind the solve-server preconditioner rule table."""
+
+    def test_spd_laplacian(self):
+        from repro.matrices import structural_flags
+
+        flags = structural_flags(laplacian_2d(8))
+        assert flags["symmetric"] and flags["positive_diagonal"]
+        assert flags["spd_like"] and flags["nonzero_diagonal"]
+
+    def test_zero_diagonal(self):
+        import scipy.sparse as sp
+        from repro.matrices import structural_flags
+
+        flags = structural_flags(
+            sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+        assert not flags["nonzero_diagonal"]
+        assert not flags["spd_like"]
+        assert not flags["diag_dominant"]
+
+    def test_diagonal_matrix_is_maximally_dominant(self):
+        import scipy.sparse as sp
+        from repro.matrices import structural_flags
+
+        flags = structural_flags(sp.diags([1.0, 2.0, 3.0], format="csr"))
+        assert flags["diag_dominant"]
+        assert flags["dominance"] == 1e3  # clipped "infinite" dominance
+
+
+class TestDegenerateFeatureInputs:
+    """feature_vector must stay finite on the policy's pathological inputs."""
+
+    def test_diagonal_only_matrix(self):
+        import scipy.sparse as sp
+
+        vector = feature_vector(sp.diags([2.0, 3.0, 4.0], format="csr"))
+        assert np.all(np.isfinite(vector))
+
+    def test_single_entry_matrix(self):
+        import scipy.sparse as sp
+
+        vector = feature_vector(sp.csr_matrix(np.array([[5.0]])))
+        assert np.all(np.isfinite(vector))
+
+    def test_highly_nonsymmetric_matrix(self):
+        import scipy.sparse as sp
+
+        dense = np.triu(np.ones((10, 10))) + 0.5 * np.eye(10)
+        features = matrix_features(sp.csr_matrix(dense))
+        assert all(np.isfinite(v) for v in features.values())
+        assert features["symmetricity"] < 0.5
+
+    def test_near_singular_matrix(self):
+        import scipy.sparse as sp
+
+        dense = np.diag([1.0, 1e-300, 1.0]) + 1e-301 * np.ones((3, 3))
+        vector = feature_vector(sp.csr_matrix(dense))
+        assert np.all(np.isfinite(vector))
+
+    def test_tiny_values_do_not_break_log_norms(self):
+        import scipy.sparse as sp
+
+        vector = feature_vector(sp.csr_matrix(1e-308 * np.eye(4)))
+        assert np.all(np.isfinite(vector))

@@ -250,3 +250,33 @@ class TestProcessExecutorPickling:
 
         with pytest.raises(Exception):
             executor.map_tasks(local, [1, 2])
+
+
+def _reciprocal(value: float) -> float:
+    return 1.0 / value
+
+
+class TestRunSettled:
+    """Per-task exception capture used by the solve-server scheduler."""
+
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadExecutor(n_threads=2),
+        HybridExecutor(ranks=2, threads_per_rank=2),
+    ])
+    def test_failures_do_not_abort_other_tasks(self, executor):
+        settled = executor.run_settled(_reciprocal, [2.0, 0.0, 4.0])
+        assert settled[0] == (0.5, None)
+        assert settled[2] == (0.25, None)
+        result, error = settled[1]
+        assert result is None
+        assert isinstance(error, ZeroDivisionError)
+
+    def test_process_executor_ships_settled_wrapper(self):
+        settled = ProcessExecutor(n_processes=2).run_settled(
+            _reciprocal, [2.0, 0.0])
+        assert settled[0] == (0.5, None)
+        assert isinstance(settled[1][1], ZeroDivisionError)
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().run_settled(_reciprocal, []) == []
