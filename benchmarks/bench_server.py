@@ -11,6 +11,11 @@ Three scenarios, each asserting correctness alongside its timing gate:
 * **Shared-fingerprint batching** — K same-matrix requests served in one
   batched drain (one build) versus the same K requests each against a cold
   cache (K builds).
+* **Transport overhead** — the same warm request stream through
+  :class:`~repro.client.InProcessClient` versus
+  :class:`~repro.client.HTTPClient` against a local
+  :class:`~repro.server.http.SolveHTTPServer`; asserts bit-identical
+  solutions and reports the HTTP/JSON round-trip overhead per request.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_server.py``) or
 through pytest.  When run directly the measured numbers are written as JSON
@@ -27,7 +32,10 @@ import time
 
 import numpy as np
 
-from repro.server import SolveRequest, SolveServer
+from repro.api import SolveRequestV1 as SolveRequest
+from repro.client import HTTPClient, InProcessClient
+from repro.server import SolveServer
+from repro.server.http import SolveHTTPServer
 from repro.service.cache import ArtifactCache
 from repro.sparse.csr import random_sparse
 
@@ -144,6 +152,47 @@ def bench_shared_fingerprint_batching(k: int = 4) -> dict:
     }
 
 
+def bench_transport_overhead(requests: int = 8) -> dict:
+    """Warm same-request stream: in-process vs HTTP/JSON round trips.
+
+    Both transports serve the identical stream against a warm cache, so the
+    difference isolates the wire cost (JSON + base64 codec + loopback HTTP).
+    Solutions must be bit-identical — transport is never a numerical choice.
+    """
+    matrix = _bench_matrix(4)
+    stream = [_request(matrix, index) for index in range(requests)]
+
+    # wire_fidelity=False: the baseline must not pay the codec, or the
+    # reported overhead would understate the true wire cost.
+    with InProcessClient(cache=ArtifactCache(max_entries=16),
+                         background=False, wire_fidelity=False) as client:
+        client.solve(stream[0])  # warm the cache: measure serving, not builds
+        start = time.perf_counter()
+        local = [client.solve(request) for request in stream]
+        local_elapsed = time.perf_counter() - start
+
+    with SolveHTTPServer(port=0, cache=ArtifactCache(max_entries=16),
+                         background=False) as http_server:
+        client = HTTPClient(http_server.url)
+        client.solve(stream[0])
+        start = time.perf_counter()
+        remote = [client.solve(request) for request in stream]
+        remote_elapsed = time.perf_counter() - start
+
+    for ours, theirs in zip(local, remote):
+        assert ours.iterations == theirs.iterations
+        assert np.array_equal(ours.solution, theirs.solution), \
+            "HTTP transport changed the arithmetic"
+    return {
+        "requests": requests,
+        "in_process_ms_per_request": local_elapsed / requests * 1e3,
+        "http_ms_per_request": remote_elapsed / requests * 1e3,
+        "http_overhead_ms_per_request":
+            (remote_elapsed - local_elapsed) / requests * 1e3,
+        "http_overhead_factor": remote_elapsed / max(local_elapsed, 1e-9),
+    }
+
+
 def test_policy_warm_cache_speedup():
     """Warm repeat of a request must beat the cold build decisively."""
     result = bench_policy_cold_vs_warm()
@@ -172,11 +221,25 @@ def test_throughput_stream_completes():
     assert result["latency_ms_p95"] >= result["latency_ms_p50"] > 0
 
 
+def test_transport_overhead_keeps_results_identical():
+    """HTTP serving costs wire overhead but never changes the arithmetic."""
+    result = bench_transport_overhead(requests=3)
+    print(f"\ntransport: in-process "
+          f"{result['in_process_ms_per_request']:.2f} ms/req, HTTP "
+          f"{result['http_ms_per_request']:.2f} ms/req "
+          f"({result['http_overhead_factor']:.2f}x)")
+    # the bit-identity assertions live inside the bench; here we only check
+    # the numbers are sane (overhead can be noisy on shared runners)
+    assert result["in_process_ms_per_request"] > 0
+    assert result["http_ms_per_request"] > 0
+
+
 def main() -> None:
     results = {
         "throughput": bench_throughput(),
         "policy_cold_vs_warm": bench_policy_cold_vs_warm(),
         "shared_fingerprint_batching": bench_shared_fingerprint_batching(),
+        "transport_overhead": bench_transport_overhead(),
     }
     for name, metrics in results.items():
         print(f"{name}: {json.dumps(metrics, indent=2)}")

@@ -20,8 +20,9 @@ import json
 
 import numpy as np
 
+from repro.api import AdmissionError, SolveRequestV1 as SolveRequest
 from repro.matrices import laplacian_2d, pdd_real_sparse
-from repro.server import AdmissionError, SolveRequest, SolveServer
+from repro.server import SolveServer
 from repro.service.cache import ArtifactCache
 
 

@@ -41,6 +41,8 @@ from repro.core import (
     SurrogateConfig,
     TrainingConfig,
 )
+from repro.api import SolveRequestV1, SolveResponseV1
+from repro.client import Client, HTTPClient, InProcessClient
 from repro.server import SolveRequest, SolveServer
 
 __all__ = [
@@ -58,4 +60,9 @@ __all__ = [
     "TrainingConfig",
     "SolveRequest",
     "SolveServer",
+    "SolveRequestV1",
+    "SolveResponseV1",
+    "Client",
+    "HTTPClient",
+    "InProcessClient",
 ]

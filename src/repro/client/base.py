@@ -1,0 +1,86 @@
+"""The transport-agnostic :class:`Client` contract.
+
+Callers program against this ABC and stay *transport-blind*: the same code
+runs against :class:`~repro.client.inprocess.InProcessClient` (a wrapped
+:class:`~repro.server.server.SolveServer`) and
+:class:`~repro.client.http.HTTPClient` (the wire protocol over urllib).
+Both speak the frozen schemas of :mod:`repro.api`, raise the same
+:class:`~repro.api.errors.AdmissionError` taxonomy on rejection, and — for a
+fixed seed — return bit-identical responses.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.api.schemas import (
+    JobStatusV1,
+    SolveRequestV1,
+    SolveResponseV1,
+    TelemetrySnapshot,
+)
+
+__all__ = ["Client"]
+
+
+class Client(abc.ABC):
+    """A solve-service client: solve / submit / poll / observe, any transport."""
+
+    @abc.abstractmethod
+    def solve(self, request: SolveRequestV1) -> SolveResponseV1:
+        """Serve one request synchronously and return its response.
+
+        Raises :class:`~repro.api.errors.AdmissionError` on rejection, with
+        the same structured reason regardless of transport.
+        """
+
+    @abc.abstractmethod
+    def submit(self, request: SolveRequestV1) -> int:
+        """Admit a request into the server's queue; returns the job id."""
+
+    @abc.abstractmethod
+    def job(self, job_id: int) -> JobStatusV1:
+        """Current status of a submitted job (response/error once finished)."""
+
+    @abc.abstractmethod
+    def metrics(self) -> TelemetrySnapshot:
+        """The server's telemetry snapshot."""
+
+    @abc.abstractmethod
+    def health(self) -> dict:
+        """Liveness information (status, schema version, queue state)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the client (and any owned server)."""
+
+    # -- conveniences shared by every transport ------------------------------
+    def result(self, job_id: int, *, timeout: float = 60.0,
+               poll_interval: float = 0.02) -> SolveResponseV1:
+        """Poll :meth:`job` until the job finishes; return its response.
+
+        Raises the job's mapped failure when it failed and
+        :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status.error is not None:
+                status.error.raise_()
+            if status.response is not None:
+                return status.response
+            if status.state in ("done", "failed"):
+                raise RuntimeError(
+                    f"job {job_id} finished ({status.state}) without a "
+                    f"response or error envelope")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} did not finish within {timeout} s")
+            time.sleep(poll_interval)
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,101 @@
+"""HTTP implementation of the :class:`~repro.client.base.Client` ABC.
+
+Speaks the versioned wire protocol of :mod:`repro.api` over plain
+``urllib.request`` — no new dependencies — against the endpoints served by
+:class:`repro.server.http.SolveHTTPServer`.  Error envelopes returned by the
+server are re-raised as the same exceptions an in-process caller would see
+(:class:`~repro.api.errors.AdmissionError` for admission rejections,
+:class:`~repro.api.errors.RemoteSolveError` otherwise), so a caller's
+``except`` clauses are transport-blind too.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.api.errors import ErrorEnvelope, SchemaError
+from repro.api.schemas import (
+    JobStatusV1,
+    SolveRequestV1,
+    SolveResponseV1,
+    TelemetrySnapshot,
+)
+from repro.client.base import Client
+
+__all__ = ["HTTPClient"]
+
+
+class HTTPClient(Client):
+    """Talk to a solve server over HTTP/JSON.
+
+    Parameters
+    ----------
+    base_url:
+        The server's base URL, e.g. ``"http://127.0.0.1:8080"`` (a trailing
+        slash is tolerated).
+    timeout:
+        Per-request socket timeout in seconds.  Synchronous ``/v1/solve``
+        calls wait for the full solve, so this also bounds solve time.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- one exchange --------------------------------------------------------
+    def _exchange(self, method: str, path: str, payload: dict | None = None
+                  ) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(None if payload is None
+                  else json.dumps(payload).encode("utf-8")),
+            headers={"Content-Type": "application/json"},
+            method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                envelope = ErrorEnvelope.from_json_dict(
+                    json.loads(body.decode("utf-8")))
+            except Exception:
+                raise SchemaError(
+                    f"server answered HTTP {error.code} without a parseable "
+                    f"error envelope: {body[:200]!r}")
+            envelope.raise_()
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SchemaError(
+                f"server answer is not valid JSON ({error}): {body[:200]!r}")
+
+    # -- Client API ----------------------------------------------------------
+    def solve(self, request: SolveRequestV1) -> SolveResponseV1:
+        """``POST /v1/solve``: serve one request synchronously."""
+        payload = self._exchange("POST", "/v1/solve", request.to_json_dict())
+        return SolveResponseV1.from_json_dict(payload)
+
+    def submit(self, request: SolveRequestV1) -> int:
+        """``POST /v1/submit``: queue one request, returning its job id."""
+        payload = self._exchange("POST", "/v1/submit", request.to_json_dict())
+        return JobStatusV1.from_json_dict(payload).job_id
+
+    def job(self, job_id: int) -> JobStatusV1:
+        """``GET /v1/jobs/<id>``: current status of a queued job."""
+        payload = self._exchange("GET", f"/v1/jobs/{int(job_id)}")
+        return JobStatusV1.from_json_dict(payload)
+
+    def metrics(self) -> TelemetrySnapshot:
+        """``GET /v1/metrics``: the server's telemetry snapshot."""
+        payload = self._exchange("GET", "/v1/metrics")
+        return TelemetrySnapshot.from_json_dict(payload)
+
+    def health(self) -> dict:
+        """``GET /v1/healthz``: liveness + queue state."""
+        return self._exchange("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        """Nothing to release: exchanges are one-shot urllib requests."""

@@ -1,18 +1,21 @@
 """Solve-server subsystem: the serving layer on top of kernels + tuning.
 
 The third layer of the stack (kernels → tuning service → **solve server**):
-an in-process service that accepts a stream of
-:class:`~repro.server.queue.SolveRequest`\\ s, admits or sheds them at a
+a service that accepts a stream of
+:class:`~repro.api.schemas.SolveRequestV1`\\ s, admits or sheds them at a
 bounded queue, groups in-flight work by matrix content fingerprint so
 concurrent requests share one preconditioner build and one multi-rhs solve,
 auto-selects the preconditioner per matrix with full provenance, and exposes
-its behaviour through a metrics registry.
+its behaviour through a metrics registry.  The request/response surface is
+the versioned, transport-agnostic :mod:`repro.api` schema package, so the
+same engine serves in-process callers (:class:`repro.client.InProcessClient`)
+and HTTP/JSON traffic (:mod:`repro.server.http` +
+:class:`repro.client.HTTPClient`) bit-identically.
 
 * :mod:`repro.server.queue` — :class:`JobQueue` (admission control,
-  priorities, backpressure, graceful drain), :class:`SolveRequest`,
-  :class:`Job`.
+  priorities, backpressure, graceful drain), :class:`Job`.
 * :mod:`repro.server.scheduler` — :class:`Scheduler` (fingerprint-batched
-  execution over a :class:`repro.parallel.Executor`), :class:`SolveResponse`.
+  execution over a :class:`repro.parallel.Executor`).
 * :mod:`repro.server.policy` — :class:`PreconditionerPolicy`
   (stored reuse → warm start → rule table, deterministic via store
   snapshots).
@@ -20,7 +23,14 @@ its behaviour through a metrics registry.
   gauges, latency/iteration histograms, JSON snapshots).
 * :mod:`repro.server.server` — :class:`SolveServer`, the facade with
   submit / await / drain / shutdown semantics.
-* :mod:`repro.server.cli` — the ``repro-serve`` console entry point.
+* :mod:`repro.server.http` — :class:`SolveHTTPServer`, the stdlib
+  HTTP/JSON adapter (``POST /v1/solve``, ``POST /v1/submit``,
+  ``GET /v1/jobs/<id>``, ``GET /v1/metrics``, ``GET /v1/healthz``).
+* :mod:`repro.server.cli` — the ``repro-serve`` console entry point
+  (one-shot solves, or ``--http`` to serve the wire protocol).
+
+``SolveRequest`` and ``SolveResponse`` remain importable from here as thin
+deprecated aliases of the :mod:`repro.api` schemas.
 """
 
 from repro.server.queue import (
@@ -36,6 +46,7 @@ from repro.server.queue import (
 from repro.server.policy import PolicyDecision, PreconditionerPolicy
 from repro.server.scheduler import Scheduler, SolveResponse
 from repro.server.server import SolveServer
+from repro.server.http import SolveHTTPServer
 from repro.server.telemetry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
@@ -52,6 +63,7 @@ __all__ = [
     "Scheduler",
     "SolveResponse",
     "SolveServer",
+    "SolveHTTPServer",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,32 +1,49 @@
-"""``repro-serve`` — submit registry solves to a :class:`SolveServer` from the CLI.
+"""``repro-serve`` — the solve server from the command line.
 
-Installed as a console script by ``setup.py``::
+Installed as a console script by ``setup.py``.  Two modes:
 
-    repro-serve 2DFDLaplace_16 --repeat 3 --json out.json
-    repro-serve a00512 --solver gmres --preconditioner ilu0 --rhs random
-    repro-serve --list-matrices
+* **One-shot** — submit registry solves through an in-process server, print
+  per-request solution statistics and the telemetry snapshot, optionally
+  write everything as JSON::
 
-Each invocation builds an in-process server, submits the requested solves
-through the queue (so batching, policy and telemetry behave exactly as in a
-long-running deployment), drains, prints per-request solution statistics and
-the telemetry snapshot, and optionally writes everything as JSON.
+      repro-serve 2DFDLaplace_16 --repeat 3 --json out.json
+      repro-serve a00512 --solver gmres --preconditioner ilu0 --rhs random
+      repro-serve --list-matrices
+
+* **Wire server** — expose the versioned HTTP/JSON protocol
+  (:mod:`repro.server.http`) until interrupted; SIGINT/SIGTERM trigger a
+  graceful drain and a clean (zero) exit::
+
+      repro-serve --http --port 8080
+      repro-serve --http --port 0          # ephemeral port, printed on stdout
+
+Admission rejections exit non-zero (2) with the typed
+:class:`~repro.api.errors.ErrorEnvelope` on stderr instead of a traceback,
+so scripted callers can parse the structured reason.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 import numpy as np
 
+from repro.api.errors import AdmissionError, ErrorEnvelope
+from repro.api.schemas import SolveRequestV1
 from repro.matrices.registry import MATRIX_REGISTRY
 from repro.precond.factory import KNOWN_FAMILIES
-from repro.server.queue import SolveRequest
+from repro.server.http import SolveHTTPServer
 from repro.server.server import SolveServer
 from repro.version import __version__
 
 __all__ = ["build_parser", "main"]
+
+#: Exit code of a request rejected at admission (distinct from 1, which
+#: means "served but not converged").
+EXIT_REJECTED = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,11 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Solve a registry matrix through the repro solve server "
-                    "and print solution statistics plus telemetry.")
+                    "(or serve the HTTP/JSON wire protocol with --http).")
     parser.add_argument("matrix", nargs="?",
                         help="registry matrix name (see --list-matrices)")
     parser.add_argument("--list-matrices", action="store_true",
                         help="print the known registry matrices and exit")
+    parser.add_argument("--http", action="store_true",
+                        help="serve the versioned HTTP/JSON wire protocol "
+                             "until interrupted instead of a one-shot solve")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address of --http (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="port of --http; 0 picks an ephemeral port "
+                             "(default: 8080)")
     parser.add_argument("--rhs", choices=("ones", "random"), default="ones",
                         help="right-hand side: all-ones or seeded random "
                              "(default: ones)")
@@ -73,6 +98,29 @@ def _make_rhs(kind: str, dimension: int, seed: int, index: int) -> np.ndarray:
     return np.ones(dimension)
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """Blocking wire-server mode; returns 0 on a graceful interrupt."""
+    http_server = SolveHTTPServer(host=args.host, port=args.port,
+                                  store=args.store)
+
+    def interrupt(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, interrupt)
+    # Announce the resolved (possibly ephemeral) port before blocking so a
+    # supervisor can parse it and start pointing clients at the server.
+    print(f"repro-serve listening on {http_server.url}", flush=True)
+    try:
+        http_server.serve_forever()
+    except KeyboardInterrupt:
+        # serve_forever's finally clause already drained and shut down the
+        # owned solve server; reaching here is the *graceful* path.
+        print("repro-serve: drained and shut down cleanly", flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -83,8 +131,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:36s} n={spec.dimension:<7d} "
                   f"symmetric={spec.symmetric} group={spec.group}")
         return 0
+    if args.http:
+        if args.matrix is not None:
+            parser.error("--http serves requests over the wire; "
+                         "a matrix argument makes no sense with it")
+        # One-shot flags would be silently ignored in wire-server mode;
+        # reject them instead of surprising a scripted caller (--store,
+        # --host and --port are the meaningful knobs here).
+        one_shot_defaults = {"json": None, "repeat": 1, "solver": None,
+                             "preconditioner": "auto", "rtol": 1e-8,
+                             "maxiter": 1000, "rhs": "ones", "seed": 0}
+        conflicting = [f"--{name}" for name, default in
+                       one_shot_defaults.items()
+                       if getattr(args, name) != default]
+        if conflicting:
+            parser.error(f"{', '.join(conflicting)} only apply to one-shot "
+                         f"solves and are ignored by --http; requests carry "
+                         f"these settings over the wire instead")
+        return _serve_http(args)
     if args.matrix is None:
-        parser.error("a matrix name is required (or --list-matrices)")
+        parser.error("a matrix name is required (or --list-matrices/--http)")
     if args.matrix not in MATRIX_REGISTRY:
         parser.error(f"unknown matrix {args.matrix!r}; "
                      f"try --list-matrices")
@@ -94,15 +160,24 @@ def main(argv: list[str] | None = None) -> int:
     dimension = MATRIX_REGISTRY[args.matrix].dimension
     preconditioner = None if args.preconditioner == "auto" else args.preconditioner
     with SolveServer(store=args.store) as server:
-        jobs = server.submit_many([
-            SolveRequest(matrix=args.matrix,
-                         rhs=_make_rhs(args.rhs, dimension, args.seed, index),
-                         solver=args.solver,
-                         preconditioner=preconditioner,
-                         rtol=args.rtol,
-                         maxiter=args.maxiter,
-                         tag=f"{args.matrix}[{index}]")
-            for index in range(args.repeat)])
+        try:
+            jobs = server.submit_many([
+                SolveRequestV1(matrix=args.matrix,
+                               rhs=_make_rhs(args.rhs, dimension, args.seed,
+                                             index),
+                               solver=args.solver,
+                               preconditioner=preconditioner,
+                               rtol=args.rtol,
+                               maxiter=args.maxiter,
+                               tag=f"{args.matrix}[{index}]")
+                for index in range(args.repeat)])
+        except AdmissionError as error:
+            # The typed envelope on stderr, not a traceback: scripted
+            # callers parse the structured reason and retry accordingly.
+            envelope = ErrorEnvelope.from_exception(error)
+            print(json.dumps(envelope.to_json_dict(), indent=2),
+                  file=sys.stderr)
+            return EXIT_REJECTED
         server.drain()
         responses = [job.result() for job in jobs]
         snapshot = server.telemetry_snapshot()
@@ -125,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
             "iterations": int(response.iterations),
             "final_residual": float(response.final_residual),
             "solver": response.solver,
-            "provenance": response.provenance,
+            "provenance": response.provenance.to_json_dict(),
             "batch_size": int(response.batch_size),
             "solution_norm": float(np.linalg.norm(response.solution)),
         })

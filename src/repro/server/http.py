@@ -1,0 +1,340 @@
+"""HTTP/JSON transport for the solve server (stdlib only).
+
+Exposes a running :class:`~repro.server.server.SolveServer` over the
+versioned wire protocol of :mod:`repro.api`, using nothing beyond
+``http.server.ThreadingHTTPServer`` — no new dependencies.  The adapter is a
+thin shell: every request is decoded into the same
+:class:`~repro.api.schemas.SolveRequestV1` the in-process path admits, runs
+through the *untouched* queue/scheduler/policy, and the response is encoded
+losslessly — an HTTP round-trip under a fixed seed is bit-identical to the
+in-process path (tested in ``tests/test_server_http.py``).
+
+Endpoints
+---------
+=======  =================  ===================================================
+method   path               body / answer
+=======  =================  ===================================================
+POST     ``/v1/solve``      ``solve_request`` → ``solve_response`` (sync)
+POST     ``/v1/submit``     ``solve_request`` → ``job_status`` (queued, 202)
+GET      ``/v1/jobs/<id>``  → ``job_status`` (result / error once finished)
+GET      ``/v1/metrics``    → ``telemetry`` snapshot
+GET      ``/v1/healthz``    → liveness + queue state
+=======  =================  ===================================================
+
+Failures travel as :class:`~repro.api.errors.ErrorEnvelope` bodies under the
+HTTP status of their code: admission rejections keep their structured reason
+(``invalid`` → 400, ``queue_full`` → 429, ``draining``/``closed`` → 503),
+malformed JSON and schema violations map to ``bad_request`` (400), version
+mismatches to ``unsupported_version`` (400), unknown jobs/paths to
+``not_found`` (404), and anything unexpected to ``internal`` (500).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.errors import (
+    AdmissionError,
+    ErrorEnvelope,
+    ERROR_BAD_REQUEST,
+    ERROR_NOT_FOUND,
+    SchemaError,
+)
+from repro.api.schemas import SolveRequestV1, TelemetrySnapshot
+from repro.logging_utils import get_logger
+from repro.server.queue import Job, job_status
+from repro.server.server import SolveServer
+from repro.version import __version__
+
+__all__ = ["SolveHTTPServer"]
+
+_LOG = get_logger("server.http")
+
+#: Request bodies beyond this size are rejected (``bad_request``) before any
+#: decoding work happens — a wire server must bound what it buffers.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP exchange onto the owning :class:`SolveHTTPServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_envelope(self, envelope: ErrorEnvelope) -> None:
+        self._send_json(envelope.http_status, envelope.to_json_dict())
+
+    def _body_length(self) -> int:
+        try:
+            return int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return -1
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body so keep-alive framing stays intact.
+
+        Replying without reading the body would leave its bytes on the
+        connection, where a keep-alive client's *next* request line would be
+        parsed out of them.  Unknown or unreasonable lengths instead mark
+        the connection for closing.
+        """
+        length = self._body_length()
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        while length > 0:
+            chunk = self.rfile.read(min(length, 1 << 20))
+            if not chunk:
+                self.close_connection = True
+                return
+            length -= len(chunk)
+
+    def _read_request_schema(self) -> SolveRequestV1:
+        length = self._body_length()
+        if length < 0:
+            self.close_connection = True
+            raise SchemaError("Content-Length header is not an integer")
+        if length == 0:
+            raise SchemaError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            # the oversized body stays unread; the connection cannot be
+            # reused for a further request
+            self.close_connection = True
+            raise SchemaError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte bound")
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SchemaError(f"request body is not valid JSON ({error})")
+        return SolveRequestV1.from_json_dict(payload)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except (AdmissionError, SchemaError) as error:
+            self._send_error_envelope(ErrorEnvelope.from_exception(error))
+        except BrokenPipeError:
+            pass  # client went away mid-answer; nothing to send it
+        except Exception as error:  # noqa: BLE001 - the wire must answer
+            _LOG.exception("unhandled error serving %s", self.path)
+            self._send_error_envelope(ErrorEnvelope.from_exception(error))
+
+    # -- routes --------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/v1/solve":
+            self._dispatch(self._post_solve)
+        elif self.path == "/v1/submit":
+            self._dispatch(self._post_submit)
+        else:
+            self._drain_body()
+            self._send_error_envelope(ErrorEnvelope(
+                code=ERROR_NOT_FOUND, message=f"no such endpoint {self.path}"))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/v1/healthz":
+            self._dispatch(self._get_healthz)
+        elif self.path == "/v1/metrics":
+            self._dispatch(self._get_metrics)
+        elif self.path.startswith("/v1/jobs/"):
+            self._dispatch(self._get_job)
+        else:
+            self._send_error_envelope(ErrorEnvelope(
+                code=ERROR_NOT_FOUND, message=f"no such endpoint {self.path}"))
+
+    def _post_solve(self) -> None:
+        request = self._read_request_schema()
+        response = self.server.adapter.solve_server.solve(request)
+        self._send_json(200, response.to_json_dict())
+
+    def _post_submit(self) -> None:
+        request = self._read_request_schema()
+        job = self.server.adapter.solve_server.submit(request)
+        self.server.adapter.track_job(job)
+        self._send_json(202, job_status(job).to_json_dict())
+
+    def _get_job(self) -> None:
+        token = self.path[len("/v1/jobs/"):]
+        try:
+            job_id = int(token)
+        except ValueError:
+            self._send_error_envelope(ErrorEnvelope(
+                code=ERROR_BAD_REQUEST,
+                message=f"job id {token!r} is not an integer"))
+            return
+        job = self.server.adapter.find_job(job_id)
+        if job is None:
+            self._send_error_envelope(ErrorEnvelope(
+                code=ERROR_NOT_FOUND, message=f"no such job {job_id}"))
+            return
+        self._send_json(200, job_status(job).to_json_dict())
+
+    def _get_metrics(self) -> None:
+        snapshot = TelemetrySnapshot.from_snapshot(
+            self.server.adapter.solve_server.telemetry_snapshot())
+        self._send_json(200, snapshot.to_json_dict())
+
+    def _get_healthz(self) -> None:
+        self._send_json(
+            200, self.server.adapter.solve_server.health_snapshot())
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning adapter."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, adapter: "SolveHTTPServer") -> None:
+        super().__init__(address, _Handler)
+        self.adapter = adapter
+
+
+class SolveHTTPServer:
+    """Serve a :class:`SolveServer` over HTTP/JSON.
+
+    Parameters
+    ----------
+    solve_server:
+        The server to expose; a fresh one (owned, and shut down with the
+        adapter) is built from ``server_kwargs`` when ``None``.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see :attr:`port`
+        after :meth:`start`).
+    server_kwargs:
+        Forwarded to :class:`SolveServer` when it is owned.
+
+    Usage::
+
+        with SolveHTTPServer(port=0) as http_server:
+            client = HTTPClient(http_server.url)
+            ...
+
+    or blocking (the CLI's ``repro-serve --http`` mode)::
+
+        SolveHTTPServer(port=8080).serve_forever()
+    """
+
+    def __init__(self, solve_server: SolveServer | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_tracked_jobs: int = 4096,
+                 **server_kwargs) -> None:
+        self._owns_solve_server = solve_server is None
+        self.solve_server = (SolveServer(**server_kwargs)
+                             if solve_server is None else solve_server)
+        self._requested_address = (host, int(port))
+        self._httpd: _HTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._jobs: dict[int, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._max_tracked_jobs = max(int(max_tracked_jobs), 1)
+
+    # -- job tracking (GET /v1/jobs/<id>) ------------------------------------
+    def track_job(self, job: Job) -> None:
+        """Remember a submitted job so its status can be queried later.
+
+        The registry is bounded: beyond ``max_tracked_jobs`` the oldest
+        *finished* jobs are evicted (their results — including full solution
+        vectors — would otherwise accumulate for the lifetime of the
+        process).  Unfinished jobs are never dropped; their count is already
+        bounded by the admission queue.  A ``GET /v1/jobs/<id>`` for an
+        evicted job answers 404, the standard contract of a
+        retention-bounded job store.
+        """
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+            overflow = len(self._jobs) - self._max_tracked_jobs
+            if overflow > 0:
+                # dicts iterate in insertion order: oldest first.
+                evictable = [job_id for job_id, tracked in self._jobs.items()
+                             if tracked.done()]
+                for job_id in evictable[:overflow]:
+                    del self._jobs[job_id]
+
+    def find_job(self, job_id: int) -> Job | None:
+        """The tracked job of ``job_id``, or ``None``."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    # -- lifecycle -----------------------------------------------------------
+    def _bind(self) -> _HTTPServer:
+        if self._httpd is None:
+            self._httpd = _HTTPServer(self._requested_address, self)
+        return self._httpd
+
+    @property
+    def port(self) -> int:
+        """The bound port (binds lazily, resolving an ephemeral request)."""
+        return self._bind().server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host = self._requested_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "SolveHTTPServer":
+        """Bind and serve from a daemon thread; returns ``self``."""
+        httpd = self._bind()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=httpd.serve_forever, name="solve-http-server",
+                kwargs={"poll_interval": 0.05}, daemon=True)
+            self._thread.start()
+        _LOG.info("serving HTTP on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind and serve in the calling thread until :meth:`shutdown`."""
+        httpd = self._bind()
+        _LOG.info("serving HTTP on %s", self.url)
+        try:
+            httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._close_http()
+            if self._owns_solve_server:
+                self.solve_server.shutdown()
+
+    def _close_http(self) -> None:
+        if self._httpd is not None:
+            self._httpd.server_close()
+            self._httpd = None
+
+    def shutdown(self) -> None:
+        """Stop accepting connections, then drain the owned solve server.
+
+        Only valid from a thread other than the one inside
+        :meth:`serve_forever` (the stdlib restriction); the CLI's blocking
+        mode instead interrupts ``serve_forever`` and relies on its
+        ``finally`` clause for the same cleanup.
+        """
+        thread = self._thread
+        if self._httpd is not None and thread is not None and thread.is_alive():
+            self._httpd.shutdown()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+        self._close_http()
+        if self._owns_solve_server:
+            self.solve_server.shutdown()
+
+    def __enter__(self) -> "SolveHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -55,8 +55,8 @@ from repro.matrices.features import (
     structural_flags,
 )
 from repro.mcmc.parameters import DEFAULT_BOUNDS, MCMCParameters, ParameterBounds
+from repro.api.errors import AdmissionError, REJECT_INVALID
 from repro.precond.factory import KNOWN_FAMILIES
-from repro.server.queue import AdmissionError, REJECT_INVALID
 from repro.service.store import ObservationStore
 
 __all__ = [

@@ -27,20 +27,29 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-import scipy.sparse as sp
-
-from repro.exceptions import ReproError
+from repro.api.errors import (
+    AdmissionError,
+    ErrorEnvelope,
+    REJECT_CLOSED,
+    REJECT_DRAINING,
+    REJECT_INVALID,
+    REJECT_QUEUE_FULL,
+)
+from repro.api.schemas import (
+    JobStatusV1,
+    SolveRequestV1,
+    SolveResponseV1,
+    validate_request,
+)
 from repro.logging_utils import get_logger
-from repro.matrices.registry import MATRIX_REGISTRY
 
 __all__ = [
     "SolveRequest",
     "Job",
     "JobQueue",
+    "job_status",
     "AdmissionError",
     "REJECT_QUEUE_FULL",
     "REJECT_CLOSED",
@@ -50,63 +59,10 @@ __all__ = [
 
 _LOG = get_logger("server.queue")
 
-#: Rejection reasons reported by :class:`AdmissionError` and counted in
-#: telemetry under ``rejected.<reason>``.
-REJECT_QUEUE_FULL = "queue_full"
-REJECT_CLOSED = "closed"
-REJECT_DRAINING = "draining"
-REJECT_INVALID = "invalid"
-
-
-class AdmissionError(ReproError):
-    """A request was rejected at the door; :attr:`reason` says why."""
-
-    def __init__(self, reason: str, message: str) -> None:
-        super().__init__(message)
-        self.reason = reason
-
-
-@dataclass(frozen=True)
-class SolveRequest:
-    """One solve job: a matrix (or registry name), a right-hand side, limits.
-
-    Attributes
-    ----------
-    matrix:
-        Either a square sparse matrix or the name of a matrix in
-        :data:`~repro.matrices.registry.MATRIX_REGISTRY` (resolved once per
-        server through the artifact cache).
-    rhs:
-        Right-hand side vector; ``None`` means the all-ones vector.
-    solver:
-        Explicit Krylov solver name, or ``None`` to let the policy choose.
-    preconditioner:
-        Explicit preconditioner family (see
-        :data:`repro.precond.factory.KNOWN_FAMILIES`), or ``None``/"auto"
-        to let the policy choose.
-    rtol / maxiter:
-        Solver limits shared by every solve of this request.
-    priority:
-        Higher values are served first; ties are FIFO.
-    seed:
-        Request seed, reserved for families with stochastic builds.  The
-        *shared* artifacts (MCMC transition tables, preconditioners) are
-        seeded from the matrix fingerprint instead, so that batched and
-        synchronous serving are bit-identical; see
-        :mod:`repro.server.scheduler`.
-    tag:
-        Free-form caller label echoed on the response.
-    """
-
-    matrix: sp.spmatrix | str
-    rhs: np.ndarray | None = None
-    solver: str | None = None
-    preconditioner: str | None = None
-    rtol: float = 1e-8
-    maxiter: int = 1000
-    priority: int = 0
-    seed: int = 0
-    tag: str = ""
+#: Deprecated alias of :class:`repro.api.schemas.SolveRequestV1` — the
+#: request schema now lives in the transport-agnostic :mod:`repro.api`
+#: package; import it from there in new code.
+SolveRequest = SolveRequestV1
 
 
 class Job:
@@ -160,38 +116,28 @@ class Job:
         self._event.set()
 
 
-def _validate(request: SolveRequest) -> None:
-    """Cheap admission-time validation (full resolution happens at execute)."""
-    if isinstance(request.matrix, str):
-        if request.matrix not in MATRIX_REGISTRY:
-            raise AdmissionError(
-                REJECT_INVALID,
-                f"unknown registry matrix {request.matrix!r}")
-        dimension: int | None = MATRIX_REGISTRY[request.matrix].dimension
-    elif sp.issparse(request.matrix):
-        if request.matrix.shape[0] != request.matrix.shape[1]:
-            raise AdmissionError(
-                REJECT_INVALID,
-                f"matrix must be square, got shape {request.matrix.shape}")
-        dimension = request.matrix.shape[0]
-    else:
-        raise AdmissionError(
-            REJECT_INVALID,
-            f"matrix must be a sparse matrix or a registry name, "
-            f"got {type(request.matrix).__name__}")
-    if request.rhs is not None:
-        rhs = np.asarray(request.rhs)
-        if rhs.ndim != 1 or (dimension is not None and rhs.size != dimension):
-            raise AdmissionError(
-                REJECT_INVALID,
-                f"rhs of shape {rhs.shape} incompatible with matrix "
-                f"dimension {dimension}")
-    if not 0.0 < request.rtol < 1.0:
-        raise AdmissionError(
-            REJECT_INVALID, f"rtol must lie in (0, 1), got {request.rtol}")
-    if request.maxiter < 1:
-        raise AdmissionError(
-            REJECT_INVALID, f"maxiter must be >= 1, got {request.maxiter}")
+def job_status(job: Job, *, response_transform=None) -> JobStatusV1:
+    """Render a job as its wire status record — shared by every transport.
+
+    The single source of the state → (response | error-envelope) mapping,
+    used by both the HTTP adapter (``GET /v1/jobs/<id>``) and
+    :meth:`repro.client.InProcessClient.job`, so the two transports cannot
+    drift apart.  ``response_transform`` post-processes a finished response
+    (the in-process client's wire-fidelity round-trip).
+    """
+    response = None
+    error = None
+    if job.done():
+        failure = job.exception()
+        if failure is not None:
+            error = ErrorEnvelope.from_exception(failure)
+        else:
+            result = job.result(timeout=0)
+            if isinstance(result, SolveResponseV1):
+                response = (result if response_transform is None
+                            else response_transform(result))
+    return JobStatusV1(job_id=job.id, state=job.state,
+                       response=response, error=error)
 
 
 class JobQueue:
@@ -254,8 +200,15 @@ class JobQueue:
 
     # -- admission ----------------------------------------------------------
     def submit(self, request: SolveRequest) -> Job:
-        """Admit ``request`` or raise :class:`AdmissionError` with a reason."""
-        _validate(request)
+        """Admit ``request`` or raise :class:`AdmissionError` with a reason.
+
+        Validation happens here, at the API boundary (shared with the HTTP
+        adapter through :func:`repro.api.schemas.validate_request`):
+        malformed requests — non-finite rhs entries, shape mismatches,
+        unknown solver/preconditioner names — are rejected with the
+        structured ``invalid`` reason instead of crashing a solver later.
+        """
+        validate_request(request)
         with self._condition:
             if self._closed:
                 raise AdmissionError(REJECT_CLOSED, "queue is closed")

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.schemas import PolicyProvenance, SolveResponseV1
 from repro.core.evaluation import (
     PerformanceRecord,
     SolverSettings,
@@ -63,7 +64,7 @@ from repro.server.telemetry import MetricsRegistry
 from repro.service.cache import ArtifactCache, transition_table_key
 from repro.service.store import ObservationStore
 from repro.sparse.csr import validate_square
-from repro.sparse.fingerprint import content_hash, matrix_fingerprint
+from repro.sparse.fingerprint import matrix_fingerprint
 from repro.sparse.splitting import jacobi_splitting
 
 __all__ = ["SolveResponse", "Scheduler"]
@@ -71,20 +72,10 @@ __all__ = ["SolveResponse", "Scheduler"]
 _LOG = get_logger("server.scheduler")
 
 
-@dataclass(frozen=True)
-class SolveResponse:
-    """What the server returns for one request."""
-
-    tag: str
-    job_id: int
-    fingerprint: str
-    solution: np.ndarray
-    converged: bool
-    iterations: int
-    final_residual: float
-    solver: str
-    provenance: dict
-    batch_size: int
+#: Deprecated alias of :class:`repro.api.schemas.SolveResponseV1` — the
+#: response schema now lives in the transport-agnostic :mod:`repro.api`
+#: package; import it from there in new code.
+SolveResponse = SolveResponseV1
 
 
 @dataclass
@@ -217,12 +208,11 @@ class Scheduler:
                              preconditioner=preconditioner, **kwargs)
         elapsed_ms = (time.perf_counter() - start) * 1e3
 
-        provenance = decision.provenance()
-        provenance["built_family"] = built_family
+        provenance = PolicyProvenance.from_decision(decision, built_family)
         batch = len(group.jobs)
         self.telemetry.histogram("solve.batch_size").observe(batch)
         for job, column, result in zip(group.jobs, columns, results):
-            response = SolveResponse(
+            response = SolveResponseV1(
                 tag=job.request.tag,
                 job_id=job.id,
                 fingerprint=group.fingerprint,
@@ -231,7 +221,7 @@ class Scheduler:
                 iterations=result.iterations,
                 final_residual=result.final_residual,
                 solver=decision.solver,
-                provenance=dict(provenance),
+                provenance=provenance,
                 batch_size=batch,
             )
             self.telemetry.counter("solves_total").add(1)

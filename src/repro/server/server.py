@@ -27,13 +27,16 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.api.schemas import SolveRequestV1 as SolveRequest
+from repro.api.schemas import SolveResponseV1 as SolveResponse
+from repro.api.versioning import SCHEMA_VERSION, version_stamp
 from repro.exceptions import ParameterError
 from repro.logging_utils import get_logger
 from repro.mcmc.parameters import DEFAULT_BOUNDS, ParameterBounds
 from repro.parallel.executor import Executor
 from repro.server.policy import PreconditionerPolicy
-from repro.server.queue import Job, JobQueue, SolveRequest
-from repro.server.scheduler import Scheduler, SolveResponse
+from repro.server.queue import Job, JobQueue
+from repro.server.scheduler import Scheduler
 from repro.server.telemetry import MetricsRegistry
 from repro.service.cache import ArtifactCache, global_cache
 from repro.service.store import ObservationStore
@@ -207,6 +210,21 @@ class SolveServer:
     def refresh_policy(self) -> None:
         """Re-snapshot the store so decisions see records written since."""
         self.policy.refresh()
+
+    def health_snapshot(self) -> dict:
+        """Liveness + queue state, the single source of every transport's
+        health answer (``GET /v1/healthz`` and ``InProcessClient.health``)."""
+        from repro.version import __version__
+
+        payload = version_stamp("health")
+        payload.update({
+            "status": "closed" if self.queue.closed else "ok",
+            "server_version": __version__,
+            "schema_version": SCHEMA_VERSION,
+            "queue_depth": self.queue.depth,
+            "inflight": self.queue.inflight,
+        })
+        return payload
 
     # -- internals -----------------------------------------------------------
     def _admit(self, request: SolveRequest) -> Job:

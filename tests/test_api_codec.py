@@ -1,0 +1,111 @@
+"""Tests of the fingerprinted base64 payload codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import (
+    IntegrityError,
+    SchemaError,
+    decode_array,
+    decode_csr,
+    encode_array,
+    encode_csr,
+)
+from repro.matrices import laplacian_2d
+from repro.sparse.fingerprint import matrix_fingerprint
+
+
+class TestArrayBlocks:
+    def test_round_trip_is_bit_identical(self):
+        vector = np.random.default_rng(3).standard_normal(257)
+        decoded = decode_array(encode_array(vector))
+        assert decoded.dtype == np.float64
+        assert np.array_equal(decoded, vector)
+
+    def test_non_float64_input_is_canonicalised(self):
+        decoded = decode_array(encode_array(np.arange(5, dtype=np.int32)))
+        assert decoded.dtype == np.float64
+        assert np.array_equal(decoded, np.arange(5.0))
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_array(np.ones((2, 2)))
+
+    def test_complex_input_rejected_not_truncated(self):
+        with pytest.raises(SchemaError):
+            encode_array(np.ones(4) + 1j)
+        with pytest.raises(SchemaError):
+            encode_csr(sp.csr_matrix(np.eye(3) * (1 + 1j)))
+
+    def test_corrupted_data_fails_integrity(self):
+        payload = encode_array(np.ones(8))
+        payload["data"] = encode_array(np.zeros(8))["data"]
+        with pytest.raises(IntegrityError):
+            decode_array(payload)
+
+    def test_invalid_base64_rejected(self):
+        payload = encode_array(np.ones(8))
+        payload["data"] = "!!! not base64 !!!"
+        with pytest.raises(SchemaError):
+            decode_array(payload)
+
+    def test_shape_inconsistent_with_payload_rejected(self):
+        payload = encode_array(np.ones(8))
+        payload["shape"] = [9]
+        with pytest.raises(SchemaError):
+            decode_array(payload)
+
+    def test_decoded_array_is_writable(self):
+        decoded = decode_array(encode_array(np.ones(4)))
+        decoded[0] = 2.0  # frombuffer views are read-only; codec must copy
+
+
+class TestCSRBlocks:
+    def test_round_trip_preserves_content_and_fingerprint(self):
+        matrix = laplacian_2d(7)
+        payload = encode_csr(matrix)
+        decoded = decode_csr(payload)
+        assert (decoded != matrix).nnz == 0
+        assert matrix_fingerprint(decoded) == payload["fingerprint"]
+
+    def test_canonicalisation_before_fingerprinting(self):
+        # A COO matrix with duplicate entries must encode to the same
+        # fingerprint as its canonical CSR form.
+        coo = sp.coo_matrix(
+            (np.array([1.0, 1.0, 2.0]), (np.array([0, 0, 1]),
+                                         np.array([0, 0, 1]))), shape=(2, 2))
+        canonical = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        assert encode_csr(coo)["fingerprint"] == \
+            encode_csr(canonical)["fingerprint"]
+
+    def test_tampered_values_fail_integrity(self):
+        payload = encode_csr(laplacian_2d(4))
+        other = encode_csr(laplacian_2d(4) * 2.0)
+        payload["data"] = other["data"]
+        with pytest.raises(IntegrityError):
+            decode_csr(payload)
+
+    def test_inconsistent_blocks_rejected(self):
+        payload = encode_csr(laplacian_2d(4))
+        payload["shape"] = [3, 3]
+        with pytest.raises(SchemaError):
+            decode_csr(payload)
+
+    def test_out_of_range_indices_rejected(self):
+        matrix = sp.csr_matrix(np.eye(3))
+        payload = encode_csr(matrix)
+        bad_indices = np.array([0, 1, 5], dtype=np.int64)
+        import base64
+
+        payload["indices"] = base64.b64encode(bad_indices.tobytes()).decode()
+        with pytest.raises(SchemaError):
+            decode_csr(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SchemaError):
+            decode_csr("not an object")
+        with pytest.raises(SchemaError):
+            decode_array([1, 2, 3])

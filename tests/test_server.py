@@ -197,18 +197,38 @@ class TestBackpressureAndFailures:
         assert server.drain(timeout=30.0)
         server.shutdown()
 
-    def test_failing_group_does_not_poison_others(self, dominant_matrix):
-        # A singular 1x1 zero matrix cannot even be fingerprint-solved by
-        # spai+gmres meaningfully; use an rhs that forces a solver error via
-        # NaNs instead — the group fails, the healthy group completes.
+    def test_nan_rhs_rejected_at_admission(self, dominant_matrix):
+        # A NaN rhs used to crash inside the solver; since the API-boundary
+        # hardening it is shed at the door with the structured reason.
         bad_rhs = np.full(dominant_matrix.shape[0], np.nan)
         server = _server()
-        bad = server.submit(SolveRequest(matrix=dominant_matrix, rhs=bad_rhs,
-                                         tag="bad"))
+        with pytest.raises(AdmissionError) as excinfo:
+            server.submit(SolveRequest(matrix=dominant_matrix, rhs=bad_rhs))
+        assert excinfo.value.reason == "invalid"
+        server.shutdown()
+
+    def test_failing_group_does_not_poison_others(self, dominant_matrix,
+                                                  monkeypatch):
+        # Inject a failure into one group's execution (valid requests can no
+        # longer smuggle NaNs past admission) — the sabotaged group fails,
+        # the healthy group completes.
+        server = _server()
+        bad_fingerprint = matrix_fingerprint(dominant_matrix)
+        original = server.scheduler._run_group
+
+        def sabotage(group):
+            if group.fingerprint == bad_fingerprint:
+                raise RuntimeError("injected group failure")
+            return original(group)
+
+        monkeypatch.setattr(server.scheduler, "_run_group", sabotage)
+        bad = server.submit(SolveRequest(matrix=dominant_matrix, tag="bad"))
         good = server.submit(SolveRequest(matrix=laplacian_2d(6), tag="good"))
         server.drain(timeout=30.0)
         assert good.result(timeout=1.0).converged
         assert bad.done()
+        with pytest.raises(RuntimeError, match="injected group failure"):
+            bad.result(timeout=1.0)
         server.shutdown()
 
     def test_telemetry_snapshot_shape(self, dominant_matrix):

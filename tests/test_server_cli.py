@@ -63,3 +63,46 @@ class TestServing:
         assert args.rhs == "ones"
         assert args.preconditioner == "auto"
         assert args.repeat == 1
+        assert args.http is False
+
+
+class TestErrorEnvelopeExit:
+    def test_admission_rejection_exits_nonzero_with_envelope(self, capsys):
+        # rtol=2.0 passes argparse but is shed at the admission boundary;
+        # the CLI must exit non-zero with the typed envelope, not a
+        # traceback.
+        code = main(["PDD_RealSparse_N64", "--rtol", "2.0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        envelope = json.loads(err)
+        assert envelope["code"] == "invalid"
+        assert envelope["kind"] == "error"
+        assert "rtol" in envelope["message"]
+
+    def test_unknown_preconditioner_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["PDD_RealSparse_N64", "--preconditioner", "amg"])
+        assert excinfo.value.code != 0
+
+
+class TestHTTPMode:
+    def test_http_parser_flags(self):
+        args = build_parser().parse_args(["--http", "--port", "0",
+                                          "--host", "0.0.0.0"])
+        assert args.http is True
+        assert args.port == 0
+        assert args.host == "0.0.0.0"
+
+    def test_http_with_matrix_argument_is_an_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--http", "2DFDLaplace_16"])
+        assert excinfo.value.code != 0
+
+    def test_http_with_one_shot_flags_is_an_error(self):
+        # --json etc. would be silently ignored by the wire server; the CLI
+        # must refuse instead.
+        for flags in (["--json", "out.json"], ["--repeat", "3"],
+                      ["--rhs", "random"], ["--rtol", "1e-6"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--http", "--port", "0", *flags])
+            assert excinfo.value.code != 0
