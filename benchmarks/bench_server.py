@@ -16,6 +16,14 @@ Three scenarios, each asserting correctness alongside its timing gate:
   :class:`~repro.client.HTTPClient` against a local
   :class:`~repro.server.http.SolveHTTPServer`; asserts bit-identical
   solutions and reports the HTTP/JSON round-trip overhead per request.
+* **Block vs loop** — a ``k >= 8`` same-matrix batch served with
+  ``batch_mode="block"`` (one shared Krylov subspace,
+  :mod:`repro.krylov.block`) versus ``batch_mode="loop"``: wall clock and
+  total matrix--vector products from the ``solve.matvecs_total``
+  telemetry, asserting block mode needs strictly fewer matvecs while
+  every column still meets the requested tolerance.  This scenario is
+  additionally written to ``BENCH_BLOCK_JSON`` (default
+  ``bench_block_vs_loop.json``) for its own CI artifact.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_server.py``) or
 through pytest.  When run directly the measured numbers are written as JSON
@@ -193,6 +201,75 @@ def bench_transport_overhead(requests: int = 8) -> dict:
     }
 
 
+def bench_block_vs_loop(k: int = 8) -> dict:
+    """Same-matrix batch of ``k`` rhs: block-Krylov vs per-column serving.
+
+    Uses unpreconditioned CG on a 2-D Laplacian so the matvec count is the
+    dominant cost and the comparison is clean; residuals of *both* modes
+    are checked against the requested rtol, honestly recomputed from the
+    returned solutions.
+    """
+    from repro.matrices import laplacian_2d
+
+    matrix = laplacian_2d(32)
+    n = matrix.shape[0]
+    rtol = 1e-8
+    rhs_columns = [np.random.default_rng(100 + index).standard_normal(n)
+                   for index in range(k)]
+
+    measurements = {}
+    solutions = {}
+    for mode in ("loop", "block"):
+        server = SolveServer(cache=ArtifactCache(max_entries=16),
+                             background=False, batch_mode=mode)
+        requests = [SolveRequest(matrix=matrix, rhs=rhs, solver="cg",
+                                 preconditioner="none", rtol=rtol,
+                                 tag=f"{mode}{index}")
+                    for index, rhs in enumerate(rhs_columns)]
+        start = time.perf_counter()
+        jobs = server.submit_many(requests)
+        assert server.drain(timeout=600.0)
+        elapsed = time.perf_counter() - start
+        responses = [job.result(timeout=1.0) for job in jobs]
+        assert all(response.converged for response in responses)
+        assert all(response.batch_mode == mode for response in responses), \
+            f"{mode} serving did not report {mode} provenance"
+        for response, rhs in zip(responses, rhs_columns):
+            residual = np.linalg.norm(matrix @ response.solution - rhs)
+            assert residual <= 10 * rtol * np.linalg.norm(rhs), \
+                f"{mode} column missed the requested tolerance"
+        measurements[mode] = {
+            "wall_s": elapsed,
+            "matvecs": int(server.telemetry.counter(
+                "solve.matvecs_total").value),
+            "iterations": [int(response.iterations)
+                           for response in responses],
+        }
+        solutions[mode] = [response.solution for response in responses]
+        server.shutdown()
+
+    for ours, theirs in zip(solutions["block"], solutions["loop"]):
+        scale = max(float(np.linalg.norm(theirs)), 1.0)
+        assert np.linalg.norm(ours - theirs) <= 1e-5 * scale, \
+            "block and loop solutions diverged beyond tolerance"
+
+    loop_matvecs = measurements["loop"]["matvecs"]
+    block_matvecs = measurements["block"]["matvecs"]
+    return {
+        "k": k,
+        "n": n,
+        "solver": "cg",
+        "rtol": rtol,
+        "loop_matvecs": loop_matvecs,
+        "block_matvecs": block_matvecs,
+        "matvec_ratio": block_matvecs / max(loop_matvecs, 1),
+        "loop_wall_s": measurements["loop"]["wall_s"],
+        "block_wall_s": measurements["block"]["wall_s"],
+        "loop_iterations": measurements["loop"]["iterations"],
+        "block_iterations": measurements["block"]["iterations"],
+    }
+
+
 def test_policy_warm_cache_speedup():
     """Warm repeat of a request must beat the cold build decisively."""
     result = bench_policy_cold_vs_warm()
@@ -221,6 +298,20 @@ def test_throughput_stream_completes():
     assert result["latency_ms_p95"] >= result["latency_ms_p50"] > 0
 
 
+def test_block_mode_needs_fewer_matvecs_than_loop():
+    """The block-Krylov acceptance gate: strictly fewer total matvecs on a
+    k >= 8 same-matrix batch, per-column residuals at the requested rtol
+    (asserted inside the bench)."""
+    result = bench_block_vs_loop(k=8)
+    print(f"\nblock vs loop (k={result['k']}, n={result['n']}): "
+          f"loop {result['loop_matvecs']} matvecs, "
+          f"block {result['block_matvecs']} matvecs "
+          f"({result['matvec_ratio']:.2f}x)")
+    assert result["block_matvecs"] < result["loop_matvecs"], (
+        f"block mode used {result['block_matvecs']} matvecs, loop "
+        f"{result['loop_matvecs']} — no amortisation achieved")
+
+
 def test_transport_overhead_keeps_results_identical():
     """HTTP serving costs wire overhead but never changes the arithmetic."""
     result = bench_transport_overhead(requests=3)
@@ -240,6 +331,7 @@ def main() -> None:
         "policy_cold_vs_warm": bench_policy_cold_vs_warm(),
         "shared_fingerprint_batching": bench_shared_fingerprint_batching(),
         "transport_overhead": bench_transport_overhead(),
+        "block_vs_loop": bench_block_vs_loop(),
     }
     for name, metrics in results.items():
         print(f"{name}: {json.dumps(metrics, indent=2)}")
@@ -247,10 +339,16 @@ def main() -> None:
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2)
     print(f"wrote {out_path}")
+    block_path = os.environ.get("BENCH_BLOCK_JSON", "bench_block_vs_loop.json")
+    with open(block_path, "w", encoding="utf-8") as handle:
+        json.dump(results["block_vs_loop"], handle, indent=2)
+    print(f"wrote {block_path}")
     assert results["policy_cold_vs_warm"]["speedup"] >= REQUIRED_SPEEDUP, (
         f"policy warm path only {results['policy_cold_vs_warm']['speedup']:.1f}x "
         f"< required {REQUIRED_SPEEDUP}x")
     assert results["shared_fingerprint_batching"]["speedup"] >= 1.5
+    assert results["block_vs_loop"]["block_matvecs"] < \
+        results["block_vs_loop"]["loop_matvecs"]
 
 
 if __name__ == "__main__":

@@ -86,6 +86,14 @@ class SolveRequestV1:
         :mod:`repro.server.scheduler`.
     tag:
         Free-form caller label echoed on the response.
+    batch_mode:
+        How a same-fingerprint batch containing this request may be
+        executed: ``"loop"`` (bit-identical per-column solves),
+        ``"block"`` (shared Krylov subspace, tolerance-identical answers)
+        or ``"auto"``; ``None`` defers to the server's configured default.
+        Introduced after the v1 freeze as an *optional* field: payloads
+        without it (older clients) parse unchanged and mean "server
+        default".
     """
 
     matrix: sp.spmatrix | str
@@ -97,6 +105,7 @@ class SolveRequestV1:
     priority: int = 0
     seed: int = 0
     tag: str = ""
+    batch_mode: str | None = None
 
     def validate(self) -> "SolveRequestV1":
         """Run the admission-boundary validation; returns ``self``."""
@@ -120,6 +129,8 @@ class SolveRequestV1:
             "priority": int(self.priority),
             "seed": int(self.seed),
             "tag": str(self.tag),
+            "batch_mode": (None if self.batch_mode is None
+                           else str(self.batch_mode)),
         })
         return payload
 
@@ -153,6 +164,7 @@ class SolveRequestV1:
             seed = int(payload.get("seed", 0))
         except (TypeError, ValueError) as error:
             raise SchemaError(f"request scalar field malformed: {error}")
+        batch_mode = payload.get("batch_mode")
         return cls(
             matrix=matrix,
             rhs=rhs,
@@ -164,6 +176,7 @@ class SolveRequestV1:
             priority=priority,
             seed=seed,
             tag=str(payload.get("tag", "")),
+            batch_mode=None if batch_mode is None else str(batch_mode),
         )
 
 
@@ -234,6 +247,14 @@ def validate_request(request: SolveRequestV1) -> None:
             raise invalid(
                 f"unknown preconditioner family {request.preconditioner!r}; "
                 f"expected one of {families}")
+    if request.batch_mode is not None:
+        from repro.krylov.solve import BATCH_MODES
+
+        if str(request.batch_mode).strip().lower() not in BATCH_MODES:
+            raise invalid(
+                f"unknown batch_mode {request.batch_mode!r}; "
+                f"expected one of {BATCH_MODES} (or null for the server "
+                f"default)")
     if not isinstance(request.rtol, numbers.Real):
         raise invalid(f"rtol must be a real number, got {request.rtol!r}")
     if not 0.0 < request.rtol < 1.0:
@@ -334,7 +355,13 @@ class PolicyProvenance:
 
 @dataclass(frozen=True)
 class SolveResponseV1:
-    """What the server returns for one request."""
+    """What the server returns for one request.
+
+    ``batch_mode`` is *provenance*: the execution mode the scheduler
+    actually used for this request's group (``"loop"`` or ``"block"``),
+    whatever was requested.  Payloads from servers predating the field
+    parse with the historical behaviour, ``"loop"``.
+    """
 
     tag: str
     job_id: int
@@ -346,6 +373,7 @@ class SolveResponseV1:
     solver: str
     provenance: PolicyProvenance
     batch_size: int
+    batch_mode: str = "loop"
 
     def to_json_dict(self) -> dict:
         """The stamped wire form of this response."""
@@ -361,6 +389,7 @@ class SolveResponseV1:
             "solver": self.solver,
             "provenance": self.provenance.to_json_dict(),
             "batch_size": int(self.batch_size),
+            "batch_mode": str(self.batch_mode),
         })
         return payload
 
@@ -380,6 +409,7 @@ class SolveResponseV1:
             provenance=PolicyProvenance.from_json_dict(
                 payload.get("provenance", {})),
             batch_size=int(payload.get("batch_size", 1)),
+            batch_mode=str(payload.get("batch_mode", "loop")),
         )
 
 

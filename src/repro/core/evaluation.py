@@ -51,11 +51,20 @@ class SolverSettings:
     Using the *same* settings for both sides of the ratio is what makes the
     metric well defined; the defaults mirror the experiment scale of the paper
     (small systems, tight tolerance, full-memory GMRES).
+
+    ``batch_mode`` selects how a *multi-rhs* batch sharing these settings is
+    executed (:func:`repro.krylov.solve_many`'s ``mode``): ``"loop"`` keeps
+    every column bit-identical to a standalone solve, ``"block"``/"auto"
+    share one Krylov subspace across the batch.  It is deliberately excluded
+    from :func:`measurement_regime` — performance records are only ever
+    written from loop-served solves, whose iteration counts are the
+    comparable quantity.
     """
 
     rtol: float = 1e-8
     maxiter: int = 1000
     gmres_restart: int | None = None  # ``None`` -> full GMRES (restart = n)
+    batch_mode: str = "loop"
 
     def solver_kwargs(self, solver: str, dimension: int) -> dict:
         """Keyword arguments for :func:`repro.krylov.solve`."""

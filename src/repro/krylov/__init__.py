@@ -10,17 +10,34 @@ quantity the whole tuning framework optimises.
 Public surface
 --------------
 * :class:`SolveResult` -- solution, convergence flag, iteration count,
-  residual history.
+  residual history, matvec count.
 * :func:`gmres`, :func:`bicgstab`, :func:`cg` -- the individual solvers.
+* :func:`block_cg`, :func:`block_gmres` -- block-Krylov multi-rhs solvers
+  sharing one subspace across a right-hand-side block (with deflation).
 * :func:`solve` -- dispatch by solver name (the categorical part of ``x_M``).
+* :func:`solve_many` -- multi-rhs dispatch with ``mode="loop"|"block"|"auto"``.
 * :func:`iteration_count` -- convenience wrapper returning only the count.
 """
 
 from repro.krylov.base import SolveResult, as_preconditioner_function
 from repro.krylov.gmres import gmres
 from repro.krylov.bicgstab import bicgstab
+from repro.krylov.block import (
+    BLOCK_SOLVERS,
+    BlockInfo,
+    block_cg,
+    block_gmres,
+    block_summary,
+    total_matvecs,
+)
 from repro.krylov.cg import cg
-from repro.krylov.solve import solve, solve_many, iteration_count, KNOWN_SOLVERS
+from repro.krylov.solve import (
+    BATCH_MODES,
+    KNOWN_SOLVERS,
+    iteration_count,
+    solve,
+    solve_many,
+)
 
 __all__ = [
     "SolveResult",
@@ -28,6 +45,13 @@ __all__ = [
     "gmres",
     "bicgstab",
     "cg",
+    "block_cg",
+    "block_gmres",
+    "block_summary",
+    "total_matvecs",
+    "BlockInfo",
+    "BLOCK_SOLVERS",
+    "BATCH_MODES",
     "solve",
     "solve_many",
     "iteration_count",

@@ -46,6 +46,20 @@ class SolveResult:
         Set when the iteration terminated because of a numerical breakdown
         (e.g. ``rho == 0`` in BiCGStab); ``converged`` is then ``False``
         unless the residual already met the tolerance.
+    matvecs:
+        Number of applications of ``A`` this solve performed — the cost unit
+        the block-vs-loop benchmark compares.  ``None`` for the columns of a
+        block solve, where the applications are *shared*: the block-level
+        total lives in :attr:`block_info`
+        (:func:`repro.krylov.block.total_matvecs` sums either form
+        correctly).  One deliberate exception: when ``solve_many`` abandons
+        a broken-down block attempt under ``mode="auto"``, the attempt's
+        applications are charged to the first column of the loop re-solve,
+        so the *batch* total stays an honest count of work performed.
+    block_info:
+        :class:`~repro.krylov.block.BlockInfo` of the block solve that
+        produced this column (shared by every column of the block), or
+        ``None`` for a standalone single-rhs solve.
     """
 
     solution: np.ndarray
@@ -54,6 +68,8 @@ class SolveResult:
     residual_norms: list[float] = field(default_factory=list)
     solver: str = ""
     breakdown: bool = False
+    matvecs: int | None = None
+    block_info: "BlockInfo | None" = None
 
     @property
     def final_residual(self) -> float:

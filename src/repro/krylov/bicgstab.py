@@ -35,15 +35,17 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="bicgstab")
+                           residual_norms=[0.0], solver="bicgstab", matvecs=0)
     tolerance = rtol * b_norm
 
     residual = b - a_matrix @ x
+    matvecs = 1
     residual_norm = float(np.linalg.norm(residual))
     history = [residual_norm]
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
-                           residual_norms=history, solver="bicgstab")
+                           residual_norms=history, solver="bicgstab",
+                           matvecs=matvecs)
 
     shadow = residual.copy()
     rho_previous = 1.0
@@ -72,6 +74,7 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             direction = residual + beta * (direction - omega * v)
         preconditioned_direction = apply_m(direction)
         v = a_matrix @ preconditioned_direction
+        matvecs += 1
         shadow_dot_v = float(np.dot(shadow, v))
         if shadow_dot_v == 0.0:
             breakdown = True
@@ -86,6 +89,7 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             break
         preconditioned_s = apply_m(s)
         t = a_matrix @ preconditioned_s
+        matvecs += 1
         t_dot_t = float(np.dot(t, t))
         if t_dot_t == 0.0:
             breakdown = True
@@ -109,4 +113,4 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
         converged = history[-1] <= tolerance
     return SolveResult(solution=x, converged=converged, iterations=iterations,
                        residual_norms=history, solver="bicgstab",
-                       breakdown=breakdown and not converged)
+                       breakdown=breakdown and not converged, matvecs=matvecs)

@@ -36,15 +36,17 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="cg")
+                           residual_norms=[0.0], solver="cg", matvecs=0)
     tolerance = rtol * b_norm
 
     residual = b - a_matrix @ x
+    matvecs = 1
     residual_norm = float(np.linalg.norm(residual))
     history = [residual_norm]
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
-                           residual_norms=history, solver="cg")
+                           residual_norms=history, solver="cg",
+                           matvecs=matvecs)
 
     z = apply_m(residual)
     direction = z.copy()
@@ -57,6 +59,7 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     while iterations < maxiter:
         iterations += 1
         a_direction = a_matrix @ direction
+        matvecs += 1
         denominator = float(np.dot(direction, a_direction))
         if denominator == 0.0:
             breakdown = True
@@ -86,4 +89,4 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
 
     return SolveResult(solution=x, converged=converged, iterations=iterations,
                        residual_norms=history, solver="cg",
-                       breakdown=breakdown and not converged)
+                       breakdown=breakdown and not converged, matvecs=matvecs)

@@ -55,19 +55,22 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     if preconditioned_rhs_norm == 0.0:
         # b (or M b) is zero: x = 0 is the exact solution.
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="gmres")
+                           residual_norms=[0.0], solver="gmres", matvecs=0)
     tolerance = rtol * preconditioned_rhs_norm
 
     residual_history: list[float] = []
     total_iterations = 0
+    matvecs = 0
     converged = False
 
     residual = apply_m(b - a_matrix @ x)
+    matvecs += 1
     residual_norm = float(np.linalg.norm(residual))
     residual_history.append(residual_norm)
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
-                           residual_norms=residual_history, solver="gmres")
+                           residual_norms=residual_history, solver="gmres",
+                           matvecs=matvecs)
 
     while total_iterations < maxiter and not converged:
         # --- Arnoldi process for one restart cycle ---------------------------
@@ -88,6 +91,7 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             inner_used = j + 1
 
             work = apply_m(a_matrix @ basis[j])
+            matvecs += 1
             # Modified Gram--Schmidt orthogonalisation.
             for i in range(j + 1):
                 hessenberg[i, j] = float(np.dot(work, basis[i]))
@@ -138,9 +142,11 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             x = x + basis[:k].T @ y
 
         residual = apply_m(b - a_matrix @ x)
+        matvecs += 1
         residual_norm = float(np.linalg.norm(residual))
         if residual_norm <= tolerance:
             converged = True
 
     return SolveResult(solution=x, converged=converged, iterations=total_iterations,
-                       residual_norms=residual_history, solver="gmres")
+                       residual_norms=residual_history, solver="gmres",
+                       matvecs=matvecs)

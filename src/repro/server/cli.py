@@ -8,6 +8,7 @@ Installed as a console script by ``setup.py``.  Two modes:
 
       repro-serve 2DFDLaplace_16 --repeat 3 --json out.json
       repro-serve a00512 --solver gmres --preconditioner ilu0 --rhs random
+      repro-serve 2DFDLaplace_16 --repeat 8 --rhs random --batch-mode block
       repro-serve --list-matrices
 
 * **Wire server** — expose the versioned HTTP/JSON protocol
@@ -73,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--preconditioner", default="auto",
                         choices=("auto",) + KNOWN_FAMILIES,
                         help="preconditioner family (default: auto policy)")
+    parser.add_argument("--batch-mode", default="loop",
+                        choices=("loop", "block", "auto"),
+                        help="multi-rhs execution of same-matrix batches: "
+                             "'loop' solves per column (bit-identical to "
+                             "sequential solves), 'block' shares one Krylov "
+                             "subspace across the batch (fewer matvecs), "
+                             "'auto' picks block when the batch and solver "
+                             "allow it (default: loop; applies to one-shot "
+                             "and --http serving alike)")
     parser.add_argument("--rtol", type=float, default=1e-8,
                         help="relative residual tolerance (default: 1e-8)")
     parser.add_argument("--maxiter", type=int, default=1000,
@@ -101,7 +111,8 @@ def _make_rhs(kind: str, dimension: int, seed: int, index: int) -> np.ndarray:
 def _serve_http(args: argparse.Namespace) -> int:
     """Blocking wire-server mode; returns 0 on a graceful interrupt."""
     http_server = SolveHTTPServer(host=args.host, port=args.port,
-                                  store=args.store)
+                                  store=args.store,
+                                  batch_mode=args.batch_mode)
 
     def interrupt(signum, frame):  # noqa: ARG001 - signal API
         raise KeyboardInterrupt
@@ -159,7 +170,7 @@ def main(argv: list[str] | None = None) -> int:
 
     dimension = MATRIX_REGISTRY[args.matrix].dimension
     preconditioner = None if args.preconditioner == "auto" else args.preconditioner
-    with SolveServer(store=args.store) as server:
+    with SolveServer(store=args.store, batch_mode=args.batch_mode) as server:
         try:
             jobs = server.submit_many([
                 SolveRequestV1(matrix=args.matrix,
@@ -190,7 +201,8 @@ def main(argv: list[str] | None = None) -> int:
               f"({response.solver} + {response.provenance['built_family']}, "
               f"origin={response.provenance['origin']}, "
               f"residual={response.final_residual:.3e}, "
-              f"batched with {response.batch_size - 1} other request(s))")
+              f"batched with {response.batch_size - 1} other request(s), "
+              f"mode={response.batch_mode})")
         if not response.converged:
             exit_code = 1
         report.append({
@@ -202,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
             "solver": response.solver,
             "provenance": response.provenance.to_json_dict(),
             "batch_size": int(response.batch_size),
+            "batch_mode": response.batch_mode,
             "solution_norm": float(np.linalg.norm(response.solution)),
         })
 

@@ -23,10 +23,18 @@ Determinism
 -----------
 Every response is a deterministic function of its request alone: the policy
 decides from a store snapshot, shared builds are seeded from the matrix
-fingerprint (never from request seeds or arrival order), and the multi-rhs
-solve is arithmetically identical to independent single-rhs solves.  Serving
-a seeded request stream synchronously or through the queue therefore yields
-bit-identical solutions.
+fingerprint (never from request seeds or arrival order), and — in the
+default ``batch_mode="loop"`` — the multi-rhs solve is arithmetically
+identical to independent single-rhs solves.  Serving a seeded request stream
+synchronously or through the queue therefore yields bit-identical solutions.
+
+``batch_mode="block"``/``"auto"`` opt a group into the block-Krylov path
+(:mod:`repro.krylov.block`): one shared subspace for the whole batch, far
+fewer total matvecs, answers that agree with the loop path to the solve
+tolerance but depend on which requests were batched together.  The mode
+actually used is recorded on every response (``batch_mode`` provenance) and
+in the ``solve.block_used`` / ``solve.deflated_columns`` /
+``solve.matvecs_total`` telemetry.
 
 When an :class:`~repro.service.store.ObservationStore` is attached, MCMC
 solves additionally measure the unpreconditioned baseline (cached per
@@ -49,8 +57,9 @@ from repro.core.evaluation import (
     SolverSettings,
     measurement_regime,
 )
-from repro.exceptions import PreconditionerError
-from repro.krylov.solve import solve, solve_many
+from repro.exceptions import ParameterError, PreconditionerError
+from repro.krylov.block import BLOCK_SOLVERS, block_summary, total_matvecs
+from repro.krylov.solve import BATCH_MODES, solve, solve_many
 from repro.logging_utils import get_logger
 from repro.matrices.features import feature_vector
 from repro.matrices.registry import get_matrix
@@ -80,7 +89,8 @@ SolveResponse = SolveResponseV1
 
 @dataclass
 class _Group:
-    """Jobs sharing (fingerprint, solver, preconditioner, rtol, maxiter)."""
+    """Jobs sharing (fingerprint, solver, preconditioner, rtol, maxiter,
+    batch mode)."""
 
     fingerprint: str
     matrix: sp.csr_matrix
@@ -89,6 +99,7 @@ class _Group:
     preconditioner: str | None
     rtol: float
     maxiter: int
+    batch_mode: str = "loop"
     jobs: list[Job] = field(default_factory=list)
 
 
@@ -120,19 +131,35 @@ class Scheduler:
     store:
         Optional observation store: MCMC solves are measured against the
         cached unpreconditioned baseline and persisted.
+    batch_mode:
+        Default multi-rhs execution mode of a group
+        (:func:`repro.krylov.solve_many`'s ``mode``), overridable per
+        request via :attr:`SolveRequestV1.batch_mode`.  ``"loop"`` (the
+        default) keeps batched serving bit-identical to synchronous
+        serving; ``"block"``/``"auto"`` share one Krylov subspace across a
+        group — far fewer matvecs, answers identical to the solve
+        tolerance rather than to the bit.  Requests demanding block mode
+        for a solver without a block implementation are served through the
+        loop path (recorded in the ``solve.block_unsupported`` counter).
     """
 
     def __init__(self, *, policy: PreconditionerPolicy, cache: ArtifactCache,
                  executor: Executor | None = None,
                  telemetry: MetricsRegistry | None = None,
                  store: ObservationStore | None = None,
-                 record_observations: bool = True) -> None:
+                 record_observations: bool = True,
+                 batch_mode: str = "loop") -> None:
         self.policy = policy
         self.cache = cache
         self.executor = executor if executor is not None else SerialExecutor()
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         self.store = store
         self.record_observations = record_observations
+        if batch_mode not in BATCH_MODES:
+            raise ParameterError(
+                f"unknown batch_mode {batch_mode!r}; "
+                f"expected one of {BATCH_MODES}")
+        self.batch_mode = batch_mode
         self._registered_fingerprints: set[str] = set()
 
     # -- batch execution ----------------------------------------------------
@@ -166,14 +193,17 @@ class Scheduler:
                 self.telemetry.counter("jobs_failed").add(1)
                 job._finish(error=error)
                 continue
+            batch_mode = (self.batch_mode if request.batch_mode is None
+                          else str(request.batch_mode).strip().lower())
             key = (fingerprint, request.solver, request.preconditioner,
-                   float(request.rtol), int(request.maxiter))
+                   float(request.rtol), int(request.maxiter), batch_mode)
             if key not in groups:
                 groups[key] = _Group(
                     fingerprint=fingerprint, matrix=matrix, name=name,
                     solver=request.solver,
                     preconditioner=request.preconditioner,
-                    rtol=float(request.rtol), maxiter=int(request.maxiter))
+                    rtol=float(request.rtol), maxiter=int(request.maxiter),
+                    batch_mode=batch_mode)
             groups[key].jobs.append(job)
         return list(groups.values())
 
@@ -197,16 +227,35 @@ class Scheduler:
             group.matrix, group.fingerprint,
             solver=group.solver, preconditioner=group.preconditioner)
         preconditioner, built_family = self._preconditioner(group, decision)
-        settings = SolverSettings(rtol=group.rtol, maxiter=group.maxiter)
+        settings = SolverSettings(rtol=group.rtol, maxiter=group.maxiter,
+                                  batch_mode=group.batch_mode)
         kwargs = settings.solver_kwargs(decision.solver, group.matrix.shape[0])
 
         n = group.matrix.shape[0]
         columns = [np.ones(n) if job.request.rhs is None
                    else np.asarray(job.request.rhs, dtype=np.float64).ravel()
                    for job in group.jobs]
+        call_mode = settings.batch_mode
+        if call_mode == "block" and decision.solver not in BLOCK_SOLVERS:
+            # The policy (or the request) picked a solver without a block
+            # implementation; serving must degrade to the loop path rather
+            # than fail the whole group.
+            self.telemetry.counter("solve.block_unsupported").add(1)
+            call_mode = "loop"
         results = solve_many(group.matrix, columns, solver=decision.solver,
-                             preconditioner=preconditioner, **kwargs)
+                             preconditioner=preconditioner, mode=call_mode,
+                             **kwargs)
         elapsed_ms = (time.perf_counter() - start) * 1e3
+
+        summary = block_summary(results)
+        used_block = summary is not None
+        batch_mode_used = "block" if used_block else "loop"
+        if used_block:
+            self.telemetry.counter("solve.block_used").add(1)
+            self.telemetry.counter("solve.deflated_columns").add(
+                summary.deflated_columns)
+        self.telemetry.counter("solve.matvecs_total").add(
+            total_matvecs(results))
 
         provenance = PolicyProvenance.from_decision(decision, built_family)
         batch = len(group.jobs)
@@ -223,6 +272,7 @@ class Scheduler:
                 solver=decision.solver,
                 provenance=provenance,
                 batch_size=batch,
+                batch_mode=batch_mode_used,
             )
             self.telemetry.counter("solves_total").add(1)
             if not result.converged:
@@ -234,8 +284,12 @@ class Scheduler:
             self.telemetry.histogram("solve.latency_ms").observe(elapsed_ms)
             self.telemetry.histogram(
                 "solve.amortised_cost_ms").observe(elapsed_ms / batch)
-            self._record_observation(group, decision, built_family, settings,
-                                     column, result.iterations)
+            if not used_block:
+                # Block iteration counts are shared across the batch and not
+                # comparable with the single-rhs baseline the performance
+                # metric divides by; only loop-served solves feed the store.
+                self._record_observation(group, decision, built_family,
+                                         settings, column, result.iterations)
             job.finished_at = time.perf_counter()
             job._finish(result=response)
 

@@ -19,7 +19,11 @@ Two serving modes, same arithmetic:
 Because policy decisions come from a store snapshot and shared builds are
 seeded from matrix fingerprints, a seeded request stream produces
 bit-identical solutions in either mode — batching is purely an efficiency
-lever, never a semantic one.
+lever, never a semantic one.  That contract holds for the default
+``batch_mode="loop"``; opting a server (or a request) into ``"block"`` /
+``"auto"`` trades it for block-Krylov amortisation: answers then agree with
+the loop path to the solve tolerance instead of to the bit (see
+:mod:`repro.krylov.block`).
 """
 
 from __future__ import annotations
@@ -75,6 +79,14 @@ class SolveServer:
         accumulate first and batch maximally, which is both the
         deterministic mode tests rely on and the highest-throughput mode
         for offline bulk serving.
+    batch_mode:
+        Default multi-rhs execution mode of a same-fingerprint group:
+        ``"loop"`` (default; batched serving stays bit-identical to
+        synchronous serving), ``"block"`` or ``"auto"`` (shared
+        block-Krylov subspace per group — far fewer matvecs, answers
+        identical to the solve tolerance, *not* to the bit).  Requests may
+        override it individually via
+        :attr:`~repro.api.schemas.SolveRequestV1.batch_mode`.
     """
 
     def __init__(self, *, store: ObservationStore | str | None = None,
@@ -85,7 +97,8 @@ class SolveServer:
                  record_observations: bool = True,
                  bounds: ParameterBounds = DEFAULT_BOUNDS,
                  background: bool = True,
-                 telemetry: MetricsRegistry | None = None) -> None:
+                 telemetry: MetricsRegistry | None = None,
+                 batch_mode: str = "loop") -> None:
         self.store = (ObservationStore(store)
                       if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
                       else store)
@@ -96,7 +109,8 @@ class SolveServer:
         self.scheduler = Scheduler(
             policy=self.policy, cache=self.cache, executor=executor,
             telemetry=self.telemetry, store=self.store,
-            record_observations=record_observations)
+            record_observations=record_observations,
+            batch_mode=batch_mode)
         if batch_max is not None and batch_max < 1:
             raise ParameterError(
                 f"batch_max must be >= 1 (or None), got {batch_max}")

@@ -289,12 +289,12 @@ class TestSolveMany:
         from repro.krylov import solve_many
 
         matrix, rhs, _ = spd_system
-        with pytest.raises(MatrixFormatError):
+        with pytest.raises(ParameterError):
             solve_many(matrix, np.empty((rhs.size, 0)))
 
     def test_mismatched_column_lengths_rejected(self, spd_system):
         from repro.krylov import solve_many
 
         matrix, rhs, _ = spd_system
-        with pytest.raises(MatrixFormatError):
+        with pytest.raises(ParameterError):
             solve_many(matrix, [rhs, rhs[:-1]])

@@ -24,6 +24,7 @@ from repro.api import (
     ErrorEnvelope,
     RemoteSolveError,
     SolveRequestV1,
+    SolveResponseV1,
     versioning,
 )
 from repro.client import HTTPClient, InProcessClient
@@ -331,6 +332,84 @@ class TestCrossTransportDeterminism:
             assert ours.fingerprint == theirs.fingerprint
             assert ours.provenance == theirs.provenance, ours.tag
             assert np.array_equal(ours.solution, theirs.solution), ours.tag
+
+    def test_block_batch_matches_in_process_across_transports(self):
+        """An HTTP batch of k same-fingerprint requests served in block mode
+        returns the same solutions (within tolerance) and the same
+        ``batch_mode`` provenance as the in-process client."""
+        matrix = laplacian_2d(8)
+        k = 6
+        rng = np.random.default_rng(7)
+        rhs_columns = [rng.standard_normal(matrix.shape[0])
+                       for _ in range(k)]
+
+        def stream():
+            return [SolveRequestV1(matrix=matrix, rhs=rhs, solver="cg",
+                                   preconditioner="none", tag=f"col{index}")
+                    for index, rhs in enumerate(rhs_columns)]
+
+        with InProcessClient(cache=ArtifactCache(max_entries=8),
+                             background=False,
+                             batch_mode="block") as in_process:
+            job_ids = [in_process.submit(request) for request in stream()]
+            assert in_process.drain(timeout=60.0)
+            local = [in_process.result(job_id) for job_id in job_ids]
+
+        with _http_server(background=False,
+                          batch_mode="block") as http_server:
+            client = HTTPClient(http_server.url)
+            job_ids = [client.submit(request) for request in stream()]
+            http_server.solve_server.drain(timeout=60.0)
+            remote = [client.result(job_id) for job_id in job_ids]
+
+        assert len(local) == len(remote) == k
+        for index, (ours, theirs) in enumerate(zip(local, remote)):
+            assert ours.converged and theirs.converged
+            assert ours.batch_mode == theirs.batch_mode == "block"
+            assert ours.batch_size == theirs.batch_size == k
+            scale = max(float(np.linalg.norm(ours.solution)), 1.0)
+            assert np.linalg.norm(ours.solution - theirs.solution) \
+                <= 1e-8 * scale, f"col{index}"
+            # every column still meets the requested tolerance end to end
+            residual = np.linalg.norm(
+                matrix @ theirs.solution - rhs_columns[index])
+            assert residual <= 1e-7 * np.linalg.norm(rhs_columns[index])
+
+    def test_old_schema_client_without_batch_mode_round_trips(self):
+        """A client on the previous schema vintage (no ``batch_mode`` field)
+        must keep working through the versioning migration hooks, and a
+        response without the field must parse as the historical loop mode."""
+        # a hypothetical version-0 request spelled the matrix name flat and
+        # predates batch_mode entirely; the hook lifts it into the v1 shape
+        def upgrade(payload: dict) -> dict:
+            payload["matrix"] = {"name": payload.pop("matrix_name")}
+            return payload
+
+        versioning.register_migration("solve_request", 0, upgrade)
+        try:
+            payload = versioning.version_stamp("solve_request", version=0)
+            payload.update({"matrix_name": "2DFDLaplace_16", "tag": "legacy"})
+            request = SolveRequestV1.from_json_dict(payload)
+            assert request.batch_mode is None  # means "server default"
+
+            with _http_server(background=False,
+                              batch_mode="block") as http_server:
+                status, answer = _raw_exchange(
+                    http_server.url, "/v1/solve",
+                    json.dumps(request.to_json_dict()).encode())
+            assert status == 200
+            response = SolveResponseV1.from_json_dict(answer)
+            assert response.converged
+            # a batch of one cannot share a subspace: honest loop provenance
+            assert response.batch_mode == "loop"
+
+            # and a pre-batch_mode *response* payload parses as loop
+            stripped = dict(answer)
+            stripped.pop("batch_mode")
+            assert SolveResponseV1.from_json_dict(
+                stripped).batch_mode == "loop"
+        finally:
+            versioning.clear_migrations()
 
     def test_mcmc_build_is_deterministic_across_transports(self):
         # Fragile pivots route to the stochastic MCMC build; its seed comes
