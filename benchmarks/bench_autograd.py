@@ -1,0 +1,147 @@
+"""Micro-benchmark: operation-tape autodiff vs the seed closure engine.
+
+Runs the seeded GNN-surrogate training step (forward + backward of
+:func:`repro.nn.closure_reference.surrogate_loss_tensor`) under both the tape
+engine (:mod:`repro.nn.autograd` via :mod:`repro.nn.functional`) and the seed
+closure implementation preserved verbatim in
+:mod:`repro.nn.closure_reference`, and checks that
+
+* the tape engine's wall time stays within ``MAX_OVERHEAD``x of the closure
+  baseline it replaced (the tape must be overhead-free in practice), and
+* the tape backward allocates *fewer* gradient buffers than the closure
+  engine -- the in-place accumulation of the graph engine is an allocation
+  non-regression gate, not merely a timing one -- while the gradients remain
+  bit-identical.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_autograd.py``) or
+through pytest.  ``AUTOGRAD_MAX_OVERHEAD`` overrides the timing gate (CI uses
+a looser bar to tolerate shared-runner noise).  When run directly with
+``AUTOGRAD_JSON`` set, the measured numbers are additionally written there as
+JSON (CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.nn import autograd
+from repro.nn import closure_reference as C
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+#: Larger than the test-suite problem so timings dominate interpreter noise.
+BENCH_SEED = 0
+BENCH_GRAPHS = 4
+BENCH_NODES_PER_GRAPH = 40
+BENCH_SAMPLES = 64
+BENCH_ROUNDS = 20
+
+#: Allowed wall-time ratio tape / closure on the training step.
+MAX_OVERHEAD = float(os.environ.get("AUTOGRAD_MAX_OVERHEAD", "1.3"))
+
+
+def _problem():
+    return C.seeded_surrogate_problem(BENCH_SEED, num_graphs=BENCH_GRAPHS,
+                                      nodes_per_graph=BENCH_NODES_PER_GRAPH,
+                                      samples=BENCH_SAMPLES)
+
+
+def _tape_step(problem, arrays):
+    params = {k: Tensor(v, requires_grad=True) for k, v in arrays.items()}
+    loss = C.surrogate_loss_tensor(F, params, problem)
+    loss.backward()
+    return params
+
+
+def _closure_step(problem, arrays):
+    params = {k: C.ClosureTensor(v, requires_grad=True)
+              for k, v in arrays.items()}
+    loss = C.surrogate_loss_tensor(C, params, problem)
+    loss.backward()
+    return params
+
+
+def _best_time(fn, rounds: int = BENCH_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_training_step() -> dict:
+    """Timings + equivalence + allocation counts on the surrogate step."""
+    problem = _problem()
+    arrays = C.init_surrogate_parameters(BENCH_SEED)
+
+    tape_time = _best_time(lambda: _tape_step(problem, arrays))
+    closure_time = _best_time(lambda: _closure_step(problem, arrays))
+    overhead = tape_time / closure_time
+
+    # Gradient equivalence: the tape engine must be a pure refactor.
+    tape_params = _tape_step(problem, arrays)
+    closure_params = _closure_step(problem, arrays)
+    for name in arrays:
+        np.testing.assert_array_equal(tape_params[name].grad,
+                                      closure_params[name].grad,
+                                      err_msg=name)
+
+    # Allocation counts of one backward pass under each engine.
+    autograd.reset_backward_stats()
+    C.reset_allocation_counter()
+    _tape_step(problem, arrays)
+    _closure_step(problem, arrays)
+    stats = autograd.backward_stats()
+    tape_allocations = stats["buffer_allocations"]
+    closure_allocations = C.allocation_counter()
+
+    print(f"\nsurrogate training step ({BENCH_GRAPHS} graphs x "
+          f"{BENCH_NODES_PER_GRAPH} nodes, {BENCH_SAMPLES} samples): "
+          f"closure {closure_time * 1e3:.1f} ms, tape {tape_time * 1e3:.1f} ms "
+          f"-> {overhead:.2f}x overhead; gradient-buffer allocations "
+          f"{closure_allocations} -> {tape_allocations} "
+          f"({stats['inplace_accumulations']} in-place, "
+          f"{stats['leaf_donations']} donated)")
+    return {
+        "graphs": BENCH_GRAPHS,
+        "nodes_per_graph": BENCH_NODES_PER_GRAPH,
+        "samples": BENCH_SAMPLES,
+        "closure_s": closure_time,
+        "tape_s": tape_time,
+        "overhead": overhead,
+        "closure_allocations": int(closure_allocations),
+        "tape_allocations": int(tape_allocations),
+        "inplace_accumulations": int(stats["inplace_accumulations"]),
+        "leaf_donations": int(stats["leaf_donations"]),
+    }
+
+
+def test_tape_overhead_within_bound():
+    """Tape engine must stay within MAX_OVERHEAD x of the closure baseline."""
+    metrics = bench_training_step()
+    assert metrics["overhead"] <= MAX_OVERHEAD, (
+        f"tape engine {metrics['overhead']:.2f}x slower than the closure "
+        f"baseline (allowed {MAX_OVERHEAD}x)")
+    # In-place accumulation: the tape backward must allocate strictly fewer
+    # gradient buffers than the per-contribution allocations of the closures.
+    assert metrics["tape_allocations"] < metrics["closure_allocations"], (
+        f"tape backward allocated {metrics['tape_allocations']} buffers, "
+        f"closure baseline {metrics['closure_allocations']}")
+
+
+if __name__ == "__main__":
+    results = {"training_step": bench_training_step()}
+    json_path = os.environ.get("AUTOGRAD_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {json_path}")
+    metrics = results["training_step"]
+    assert metrics["overhead"] <= MAX_OVERHEAD, (
+        f"tape overhead {metrics['overhead']:.2f}x > allowed {MAX_OVERHEAD}x")
+    assert metrics["tape_allocations"] < metrics["closure_allocations"]

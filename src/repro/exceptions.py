@@ -64,6 +64,10 @@ class AutodiffError(ReproError):
     """Invalid operation on the reverse-mode autodiff tape."""
 
 
+class GradcheckError(AutodiffError):
+    """An analytic gradient disagrees with its finite-difference estimate."""
+
+
 class GraphConstructionError(ReproError):
     """A graph could not be constructed from the given sparse matrix."""
 

@@ -1,14 +1,36 @@
 """Differentiable operations on :class:`~repro.nn.tensor.Tensor`.
 
-Each function computes the forward value eagerly and registers a backward
-closure returning the gradients with respect to its inputs.  Broadcasting in
-the element-wise operations is supported; the backward pass reduces gradients
-back to the original operand shapes (:func:`_unbroadcast`).
+Every primitive is an :class:`~repro.nn.autograd.Operation` subclass: the
+``forward`` method computes the output array eagerly (saving whatever the
+backward pass needs as instance attributes) and ``backward(grad, index)``
+returns the gradient with respect to one input.  The module-level functions
+are thin wrappers that route through the single
+:func:`repro.nn.autograd.apply` entry point, which records the node on the
+tape; the graph engine owns the cross-cutting concerns (un-broadcasting,
+gradient accumulation, topological walk, buffer release), so operations with
+broadcasting semantics simply declare ``broadcastable = True`` and return raw
+gradients.
 
 Beyond the usual dense operations, the module provides the *segment*
 reductions (:func:`segment_sum`, :func:`segment_mean`, :func:`segment_max`)
 used by the message-passing layers to aggregate edge messages per target node
 and node embeddings per graph.
+
+Adding a new operation::
+
+    class Square(Operation):
+        def forward(self, a):
+            self.a = a
+            return a * a
+
+        def backward(self, grad, index):
+            return 2.0 * grad * self.a
+
+    def square(a: Tensor) -> Tensor:
+        return apply(Square(), a)
+
+then gate it with :func:`repro.nn.gradcheck.gradcheck` (see
+``tests/test_nn_gradcheck.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +38,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import AutodiffError
-from repro.nn.tensor import Tensor, _ensure_tensor, is_grad_enabled
+from repro.nn.autograd import Operation, apply, unbroadcast
+from repro.nn.tensor import Tensor, _ensure_tensor
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "matmul", "pow_scalar",
@@ -27,296 +50,397 @@ __all__ = [
     "mse_loss", "gaussian_nll_loss",
 ]
 
-
-def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Reduce ``gradient`` so that it matches ``shape`` after broadcasting."""
-    if gradient.shape == shape:
-        return gradient
-    # Sum over leading dimensions added by broadcasting.
-    while gradient.ndim > len(shape):
-        gradient = gradient.sum(axis=0)
-    # Sum over axes that were of size 1 in the original operand.
-    for axis, dim in enumerate(shape):
-        if dim == 1 and gradient.shape[axis] != 1:
-            gradient = gradient.sum(axis=axis, keepdims=True)
-    return gradient.reshape(shape)
-
-
-def _make(data: np.ndarray, parents, backward_fn) -> Tensor:
-    if is_grad_enabled():
-        return Tensor(data, parents=parents, backward_fn=backward_fn)
-    return Tensor(data)
+#: Backwards-compatible alias; the engine owns the implementation now.
+_unbroadcast = unbroadcast
 
 
 # --------------------------------------------------------------------------
 # Arithmetic
 # --------------------------------------------------------------------------
 
+class Add(Operation):
+    broadcastable = True
+
+    def forward(self, a, b):
+        return a + b
+
+    def backward(self, grad, index):
+        return grad
+
+
+class Sub(Operation):
+    broadcastable = True
+
+    def forward(self, a, b):
+        return a - b
+
+    def backward(self, grad, index):
+        return grad if index == 0 else -grad
+
+
+class Mul(Operation):
+    broadcastable = True
+
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return a * b
+
+    def backward(self, grad, index):
+        return grad * self.b if index == 0 else grad * self.a
+
+
+class Div(Operation):
+    broadcastable = True
+
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return a / b
+
+    def backward(self, grad, index):
+        if index == 0:
+            return grad / self.b
+        return -grad * self.a / (self.b ** 2)
+
+
+class Neg(Operation):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad, index):
+        return -grad
+
+
+class PowScalar(Operation):
+    def __init__(self, exponent: float) -> None:
+        self.exponent = exponent
+
+    def forward(self, a):
+        self.a = a
+        return a ** self.exponent
+
+    def backward(self, grad, index):
+        return grad * self.exponent * self.a ** (self.exponent - 1.0)
+
+
+class MatMul(Operation):
+    """Matrix multiplication (2-D x 2-D, or 1-D promoted on either side)."""
+
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return a @ b
+
+    def backward(self, grad, index):
+        a, b = self.a, self.b
+        if a.ndim == 1 and b.ndim == 2:
+            return grad @ b.T if index == 0 else np.outer(a, grad)
+        if a.ndim == 2 and b.ndim == 1:
+            return np.outer(grad, b) if index == 0 else a.T @ grad
+        if a.ndim == 1 and b.ndim == 1:
+            return grad * b if index == 0 else grad * a
+        return grad @ b.T if index == 0 else a.T @ grad
+
+
 def add(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise addition with broadcasting."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = a.data + b.data
-
-    def backward(grad):
-        return _unbroadcast(grad, a.data.shape), _unbroadcast(grad, b.data.shape)
-
-    return _make(out_data, (a, b), backward)
+    return apply(Add(), a, b)
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise subtraction with broadcasting."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = a.data - b.data
-
-    def backward(grad):
-        return _unbroadcast(grad, a.data.shape), _unbroadcast(-grad, b.data.shape)
-
-    return _make(out_data, (a, b), backward)
+    return apply(Sub(), a, b)
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise multiplication with broadcasting."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = a.data * b.data
-
-    def backward(grad):
-        return (_unbroadcast(grad * b.data, a.data.shape),
-                _unbroadcast(grad * a.data, b.data.shape))
-
-    return _make(out_data, (a, b), backward)
+    return apply(Mul(), a, b)
 
 
 def div(a: Tensor, b: Tensor) -> Tensor:
     """Element-wise division with broadcasting."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = a.data / b.data
-
-    def backward(grad):
-        return (_unbroadcast(grad / b.data, a.data.shape),
-                _unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape))
-
-    return _make(out_data, (a, b), backward)
+    return apply(Div(), a, b)
 
 
 def neg(a: Tensor) -> Tensor:
     """Element-wise negation."""
-    a = _ensure_tensor(a)
-
-    def backward(grad):
-        return (-grad,)
-
-    return _make(-a.data, (a,), backward)
+    return apply(Neg(), a)
 
 
 def pow_scalar(a: Tensor, exponent: float) -> Tensor:
     """Element-wise power with a constant exponent."""
-    a = _ensure_tensor(a)
-    out_data = a.data ** exponent
-
-    def backward(grad):
-        return (grad * exponent * a.data ** (exponent - 1.0),)
-
-    return _make(out_data, (a,), backward)
+    return apply(PowScalar(exponent), a)
 
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix multiplication (2-D x 2-D, or 1-D promoted on either side)."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = a.data @ b.data
-
-    def backward(grad):
-        a_data, b_data = a.data, b.data
-        grad = np.asarray(grad, dtype=np.float64)
-        if a_data.ndim == 1 and b_data.ndim == 2:
-            grad_a = grad @ b_data.T
-            grad_b = np.outer(a_data, grad)
-        elif a_data.ndim == 2 and b_data.ndim == 1:
-            grad_a = np.outer(grad, b_data)
-            grad_b = a_data.T @ grad
-        elif a_data.ndim == 1 and b_data.ndim == 1:
-            grad_a = grad * b_data
-            grad_b = grad * a_data
-        else:
-            grad_a = grad @ b_data.T
-            grad_b = a_data.T @ grad
-        return grad_a, grad_b
-
-    return _make(out_data, (a, b), backward)
+    return apply(MatMul(), a, b)
 
 
 # --------------------------------------------------------------------------
 # Reductions and shape manipulation
 # --------------------------------------------------------------------------
 
+class Sum(Operation):
+    def __init__(self, axis, keepdims: bool) -> None:
+        self.axis = axis
+        self.keepdims = keepdims
+
+    def forward(self, a):
+        self.in_shape = a.shape
+        return a.sum(axis=self.axis, keepdims=self.keepdims)
+
+    def backward(self, grad, index):
+        if self.axis is None:
+            return np.broadcast_to(grad, self.in_shape).copy()
+        if not self.keepdims:
+            grad = np.expand_dims(grad, axis=self.axis)
+        return np.broadcast_to(grad, self.in_shape).copy()
+
+
+class Mean(Operation):
+    def __init__(self, axis, keepdims: bool) -> None:
+        self.axis = axis
+        self.keepdims = keepdims
+
+    def forward(self, a):
+        self.in_shape = a.shape
+        self.count = a.size if self.axis is None else a.shape[self.axis]
+        return a.mean(axis=self.axis, keepdims=self.keepdims)
+
+    def backward(self, grad, index):
+        grad = grad / self.count
+        if self.axis is None:
+            return np.broadcast_to(grad, self.in_shape).copy()
+        if not self.keepdims:
+            grad = np.expand_dims(grad, axis=self.axis)
+        return np.broadcast_to(grad, self.in_shape).copy()
+
+
+class Reshape(Operation):
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = shape
+
+    def forward(self, a):
+        self.in_shape = a.shape
+        return a.reshape(self.shape)
+
+    def backward(self, grad, index):
+        return grad.reshape(self.in_shape)
+
+
+class Concat(Operation):
+    def __init__(self, axis: int) -> None:
+        self.axis = axis
+
+    def forward(self, *arrays):
+        self.offsets = np.cumsum([0] + [arr.shape[self.axis] for arr in arrays])
+        return np.concatenate(arrays, axis=self.axis)
+
+    def backward(self, grad, index):
+        selector = [slice(None)] * grad.ndim
+        selector[self.axis] = slice(self.offsets[index], self.offsets[index + 1])
+        return grad[tuple(selector)]
+
+
+class Stack(Operation):
+    def __init__(self, axis: int) -> None:
+        self.axis = axis
+
+    def forward(self, *arrays):
+        return np.stack(arrays, axis=self.axis)
+
+    def backward(self, grad, index):
+        return np.take(grad, index, axis=self.axis)
+
+
 def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
     """Sum reduction."""
-    a = _ensure_tensor(a)
-    out_data = a.data.sum(axis=axis, keepdims=keepdims)
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64)
-        if axis is None:
-            return (np.broadcast_to(grad, a.data.shape).copy(),)
-        if not keepdims:
-            grad = np.expand_dims(grad, axis=axis)
-        return (np.broadcast_to(grad, a.data.shape).copy(),)
-
-    return _make(out_data, (a,), backward)
+    return apply(Sum(axis, keepdims), a)
 
 
 def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     """Mean reduction."""
-    a = _ensure_tensor(a)
-    out_data = a.data.mean(axis=axis, keepdims=keepdims)
-    if axis is None:
-        count = a.data.size
-    else:
-        count = a.data.shape[axis]
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64) / count
-        if axis is None:
-            return (np.broadcast_to(grad, a.data.shape).copy(),)
-        if not keepdims:
-            grad = np.expand_dims(grad, axis=axis)
-        return (np.broadcast_to(grad, a.data.shape).copy(),)
-
-    return _make(out_data, (a,), backward)
+    return apply(Mean(axis, keepdims), a)
 
 
 def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
     """Reshape preserving the element order."""
-    a = _ensure_tensor(a)
-    out_data = a.data.reshape(shape)
-
-    def backward(grad):
-        return (np.asarray(grad).reshape(a.data.shape),)
-
-    return _make(out_data, (a,), backward)
+    return apply(Reshape(shape), a)
 
 
 def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
-    tensors = [_ensure_tensor(t) for t in tensors]
     if not tensors:
         raise AutodiffError("concat() requires at least one tensor")
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64)
-        slices = []
-        for index in range(len(tensors)):
-            selector = [slice(None)] * grad.ndim
-            selector[axis] = slice(offsets[index], offsets[index + 1])
-            slices.append(grad[tuple(selector)])
-        return tuple(slices)
-
-    return _make(out_data, tuple(tensors), backward)
+    return apply(Concat(axis), *tensors)
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
-    tensors = [_ensure_tensor(t) for t in tensors]
     if not tensors:
         raise AutodiffError("stack() requires at least one tensor")
-    out_data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64)
-        return tuple(np.take(grad, index, axis=axis) for index in range(len(tensors)))
-
-    return _make(out_data, tuple(tensors), backward)
+    return apply(Stack(axis), *tensors)
 
 
 # --------------------------------------------------------------------------
 # Non-linearities
 # --------------------------------------------------------------------------
 
+class ReLU(Operation):
+    def forward(self, a):
+        self.mask = a > 0
+        return a * self.mask
+
+    def backward(self, grad, index):
+        return grad * self.mask
+
+
+class LeakyReLU(Operation):
+    def __init__(self, negative_slope: float) -> None:
+        self.negative_slope = negative_slope
+
+    def forward(self, a):
+        self.mask = a > 0
+        return np.where(self.mask, a, self.negative_slope * a)
+
+    def backward(self, grad, index):
+        return grad * np.where(self.mask, 1.0, self.negative_slope)
+
+
+class Sigmoid(Operation):
+    def forward(self, a):
+        self.out = 1.0 / (1.0 + np.exp(-a))
+        return self.out
+
+    def backward(self, grad, index):
+        return grad * self.out * (1.0 - self.out)
+
+
+class Tanh(Operation):
+    def forward(self, a):
+        self.out = np.tanh(a)
+        return self.out
+
+    def backward(self, grad, index):
+        return grad * (1.0 - self.out ** 2)
+
+
+class Exp(Operation):
+    def forward(self, a):
+        self.out = np.exp(a)
+        return self.out
+
+    def backward(self, grad, index):
+        return grad * self.out
+
+
+class Log(Operation):
+    def forward(self, a):
+        self.a = a
+        return np.log(a)
+
+    def backward(self, grad, index):
+        return grad / self.a
+
+
+class Softplus(Operation):
+    """Numerically stable softplus ``ln(1 + e^x)`` (the sigma head of Eq. 1)."""
+
+    def forward(self, a):
+        self.sig = 1.0 / (1.0 + np.exp(-a))
+        return np.logaddexp(0.0, a)
+
+    def backward(self, grad, index):
+        return grad * self.sig
+
+
 def relu(a: Tensor) -> Tensor:
     """Rectified linear unit."""
-    a = _ensure_tensor(a)
-    mask = a.data > 0
-    out_data = a.data * mask
-
-    def backward(grad):
-        return (grad * mask,)
-
-    return _make(out_data, (a,), backward)
+    return apply(ReLU(), a)
 
 
 def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
     """Leaky ReLU (used inside the GATv2-style attention layer)."""
-    a = _ensure_tensor(a)
-    mask = a.data > 0
-    out_data = np.where(mask, a.data, negative_slope * a.data)
-
-    def backward(grad):
-        return (grad * np.where(mask, 1.0, negative_slope),)
-
-    return _make(out_data, (a,), backward)
+    return apply(LeakyReLU(negative_slope), a)
 
 
 def sigmoid(a: Tensor) -> Tensor:
     """Logistic sigmoid."""
-    a = _ensure_tensor(a)
-    out_data = 1.0 / (1.0 + np.exp(-a.data))
-
-    def backward(grad):
-        return (grad * out_data * (1.0 - out_data),)
-
-    return _make(out_data, (a,), backward)
+    return apply(Sigmoid(), a)
 
 
 def tanh(a: Tensor) -> Tensor:
     """Hyperbolic tangent."""
-    a = _ensure_tensor(a)
-    out_data = np.tanh(a.data)
-
-    def backward(grad):
-        return (grad * (1.0 - out_data ** 2),)
-
-    return _make(out_data, (a,), backward)
+    return apply(Tanh(), a)
 
 
 def exp(a: Tensor) -> Tensor:
     """Element-wise exponential."""
-    a = _ensure_tensor(a)
-    out_data = np.exp(a.data)
-
-    def backward(grad):
-        return (grad * out_data,)
-
-    return _make(out_data, (a,), backward)
+    return apply(Exp(), a)
 
 
 def log(a: Tensor) -> Tensor:
     """Element-wise natural logarithm."""
-    a = _ensure_tensor(a)
-    out_data = np.log(a.data)
-
-    def backward(grad):
-        return (grad / a.data,)
-
-    return _make(out_data, (a,), backward)
+    return apply(Log(), a)
 
 
 def softplus(a: Tensor) -> Tensor:
     """Numerically stable softplus ``ln(1 + e^x)`` (the sigma head of Eq. 1)."""
-    a = _ensure_tensor(a)
-    out_data = np.logaddexp(0.0, a.data)
-    sig = 1.0 / (1.0 + np.exp(-a.data))
-
-    def backward(grad):
-        return (grad * sig,)
-
-    return _make(out_data, (a,), backward)
+    return apply(Softplus(), a)
 
 
 # --------------------------------------------------------------------------
 # Regularisation and normalisation
 # --------------------------------------------------------------------------
+
+class Identity(Operation):
+    """Copying identity (the evaluation-mode path of dropout)."""
+
+    def forward(self, a):
+        return a.copy()
+
+    def backward(self, grad, index):
+        return grad
+
+
+class DropoutOp(Operation):
+    def __init__(self, mask: np.ndarray) -> None:
+        self.mask = mask
+
+    def forward(self, a):
+        return a * self.mask
+
+    def backward(self, grad, index):
+        return grad * self.mask
+
+
+class LayerNorm(Operation):
+    # gamma/beta gradients come back in the row-broadcast shape.
+    broadcastable = True
+
+    def __init__(self, eps: float) -> None:
+        self.eps = eps
+
+    def forward(self, a, gamma, beta):
+        mu = a.mean(axis=-1, keepdims=True)
+        var = a.var(axis=-1, keepdims=True)
+        self.inv_std = 1.0 / np.sqrt(var + self.eps)
+        self.normalised = (a - mu) * self.inv_std
+        self.gamma = gamma
+        return gamma * self.normalised + beta
+
+    def backward(self, grad, index):
+        if index == 1:  # gamma (engine un-broadcasts to its shape)
+            return grad * self.normalised
+        if index == 2:  # beta
+            return grad
+        grad_normalised = grad * self.gamma
+        # Standard layer-norm backward (per-row statistics).
+        return (grad_normalised
+                - grad_normalised.mean(axis=-1, keepdims=True)
+                - self.normalised * (grad_normalised * self.normalised
+                                     ).mean(axis=-1, keepdims=True)
+                ) * self.inv_std
+
 
 def dropout(a: Tensor, p: float, *, training: bool,
             rng: np.random.Generator | None = None) -> Tensor:
@@ -330,18 +454,10 @@ def dropout(a: Tensor, p: float, *, training: bool,
     if not 0.0 <= p < 1.0:
         raise AutodiffError(f"dropout probability must lie in [0, 1), got {p}")
     if not training or p == 0.0:
-        def backward_identity(grad):
-            return (grad,)
-
-        return _make(a.data.copy(), (a,), backward_identity)
+        return apply(Identity(), a)
     generator = rng if rng is not None else np.random.default_rng()
     mask = (generator.random(a.data.shape) >= p) / (1.0 - p)
-    out_data = a.data * mask
-
-    def backward(grad):
-        return (grad * mask,)
-
-    return _make(out_data, (a,), backward)
+    return apply(DropoutOp(mask), a)
 
 
 def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, *, eps: float = 1e-5) -> Tensor:
@@ -351,46 +467,71 @@ def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, *, eps: float = 1e-5) -> 
     computed per row (per node / per sample), as used in both the message
     passing layers and the fully connected stacks of the surrogate.
     """
-    a = _ensure_tensor(a)
-    gamma = _ensure_tensor(gamma)
-    beta = _ensure_tensor(beta)
-    mu = a.data.mean(axis=-1, keepdims=True)
-    var = a.data.var(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    normalised = (a.data - mu) * inv_std
-    out_data = gamma.data * normalised + beta.data
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64)
-        grad_gamma = _unbroadcast(grad * normalised, gamma.data.shape)
-        grad_beta = _unbroadcast(grad, beta.data.shape)
-        grad_normalised = grad * gamma.data
-        # Standard layer-norm backward (per-row statistics).
-        grad_a = (grad_normalised
-                  - grad_normalised.mean(axis=-1, keepdims=True)
-                  - normalised * (grad_normalised * normalised).mean(axis=-1, keepdims=True)
-                  ) * inv_std
-        return grad_a, grad_gamma, grad_beta
-
-    return _make(out_data, (a, gamma, beta), backward)
+    return apply(LayerNorm(eps), a, gamma, beta)
 
 
 # --------------------------------------------------------------------------
 # Indexing and segment reductions (message passing primitives)
 # --------------------------------------------------------------------------
 
+class GatherRows(Operation):
+    def __init__(self, indices: np.ndarray) -> None:
+        self.indices = indices
+
+    def forward(self, a):
+        self.in_shape = a.shape
+        return a[self.indices]
+
+    def backward(self, grad, index):
+        grad_a = np.zeros(self.in_shape, dtype=np.float64)
+        np.add.at(grad_a, self.indices, grad)
+        return grad_a
+
+
+class SegmentSum(Operation):
+    def __init__(self, segment_ids: np.ndarray, num_segments: int) -> None:
+        self.segment_ids = segment_ids
+        self.num_segments = num_segments
+
+    def forward(self, a):
+        out = np.zeros((self.num_segments,) + a.shape[1:], dtype=np.float64)
+        np.add.at(out, self.segment_ids, a)
+        return out
+
+    def backward(self, grad, index):
+        return grad[self.segment_ids]
+
+
+class SegmentMax(Operation):
+    def __init__(self, segment_ids: np.ndarray, num_segments: int) -> None:
+        self.segment_ids = segment_ids
+        self.num_segments = num_segments
+
+    def forward(self, a):
+        feature_shape = a.shape[1:]
+        out = np.full((self.num_segments,) + feature_shape, -np.inf,
+                      dtype=np.float64)
+        np.maximum.at(out, self.segment_ids, a)
+        empty = ~np.isin(np.arange(self.num_segments), self.segment_ids)
+        if empty.any():
+            out[empty] = 0.0
+        # Winner mask: an element wins if it equals the segment maximum; ties
+        # share the gradient equally.
+        self.winners = (a == out[self.segment_ids]).astype(np.float64)
+        winner_counts = np.zeros((self.num_segments,) + feature_shape,
+                                 dtype=np.float64)
+        np.add.at(winner_counts, self.segment_ids, self.winners)
+        self.winner_counts = np.maximum(winner_counts, 1.0)
+        return out
+
+    def backward(self, grad, index):
+        return self.winners * (grad / self.winner_counts)[self.segment_ids]
+
+
 def gather_rows(a: Tensor, indices: np.ndarray) -> Tensor:
     """Select rows ``a[indices]`` (differentiable scatter-add in the backward)."""
-    a = _ensure_tensor(a)
     indices = np.asarray(indices, dtype=np.int64)
-    out_data = a.data[indices]
-
-    def backward(grad):
-        grad_a = np.zeros_like(a.data)
-        np.add.at(grad_a, indices, np.asarray(grad, dtype=np.float64))
-        return (grad_a,)
-
-    return _make(out_data, (a,), backward)
+    return apply(GatherRows(indices), a)
 
 
 def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -401,14 +542,7 @@ def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
         raise AutodiffError(
             f"segment_ids length {segment_ids.shape[0]} does not match rows "
             f"{a.data.shape[0]}")
-    out_shape = (num_segments,) + a.data.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, segment_ids, a.data)
-
-    def backward(grad):
-        return (np.asarray(grad, dtype=np.float64)[segment_ids],)
-
-    return _make(out_data, (a,), backward)
+    return apply(SegmentSum(segment_ids, num_segments), a)
 
 
 def segment_mean(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -430,25 +564,7 @@ def segment_max(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     """
     a = _ensure_tensor(a)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    feature_shape = a.data.shape[1:]
-    out_data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
-    np.maximum.at(out_data, segment_ids, a.data)
-    empty = ~np.isin(np.arange(num_segments), segment_ids)
-    if empty.any():
-        out_data[empty] = 0.0
-
-    # Winner mask: an element wins if it equals the segment maximum; ties share
-    # the gradient equally.
-    winners = (a.data == out_data[segment_ids]).astype(np.float64)
-    winner_counts = np.zeros((num_segments,) + feature_shape, dtype=np.float64)
-    np.add.at(winner_counts, segment_ids, winners)
-    winner_counts = np.maximum(winner_counts, 1.0)
-
-    def backward(grad):
-        grad = np.asarray(grad, dtype=np.float64)
-        return (winners * (grad / winner_counts)[segment_ids],)
-
-    return _make(out_data, (a,), backward)
+    return apply(SegmentMax(segment_ids, num_segments), a)
 
 
 # --------------------------------------------------------------------------

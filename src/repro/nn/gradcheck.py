@@ -1,0 +1,106 @@
+"""Central finite-difference gradient checking.
+
+:func:`gradcheck` is the gate every operation in :mod:`repro.nn.functional`
+must pass: it compares the analytic gradient produced by the operation-tape
+engine against a central finite-difference estimate of
+``d sum(f(x...)) / dx`` for every differentiable input.  The property suite
+in ``tests/test_nn_gradcheck.py`` runs it over the full operation registry;
+any new operation should be added there alongside its implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GradcheckError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["gradcheck", "numeric_gradient"]
+
+
+def numeric_gradient(function: Callable[..., Tensor],
+                     arrays: Sequence[np.ndarray], index: int, *,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference estimate of ``d sum(f) / d arrays[index]``.
+
+    Every element of input ``index`` is perturbed by ``+/- eps`` in turn
+    while the remaining inputs are held fixed.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    target = arrays[index]
+    numeric = np.zeros_like(target)
+    flat_numeric = numeric.ravel()
+
+    def evaluate(perturbed: np.ndarray) -> float:
+        inputs = [Tensor(perturbed if i == index else a)
+                  for i, a in enumerate(arrays)]
+        return float(function(*inputs).data.sum())
+
+    for flat_index in range(target.size):
+        plus = target.copy().ravel()
+        minus = target.copy().ravel()
+        plus[flat_index] += eps
+        minus[flat_index] -= eps
+        f_plus = evaluate(plus.reshape(target.shape))
+        f_minus = evaluate(minus.reshape(target.shape))
+        flat_numeric[flat_index] = (f_plus - f_minus) / (2.0 * eps)
+    return numeric
+
+
+def gradcheck(function: Callable[..., Tensor], *arrays: np.ndarray,
+              eps: float = 1e-6, atol: float = 1e-6, rtol: float = 1e-6,
+              raise_on_failure: bool = True) -> bool:
+    """Verify the analytic gradients of ``function`` at the point ``arrays``.
+
+    Parameters
+    ----------
+    function:
+        Maps input tensors to an output tensor; its gradients are checked
+        through the scalar objective ``sum(function(...))``.
+    arrays:
+        One NumPy array per input; every input is treated as differentiable.
+    eps:
+        Central-difference step.
+    atol, rtol:
+        Element-wise tolerances for comparing analytic against numeric
+        gradients.
+    raise_on_failure:
+        When True (default) a mismatch raises
+        :class:`~repro.exceptions.GradcheckError` describing the worst
+        element; when False the function returns ``False`` instead.
+
+    Returns
+    -------
+    bool
+        True when every analytic gradient matches its finite-difference
+        estimate within tolerance.
+    """
+    if not arrays:
+        raise GradcheckError("gradcheck requires at least one input array")
+    arrays = tuple(np.asarray(a, dtype=np.float64) for a in arrays)
+    inputs = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    output = function(*inputs)
+    F.sum(output).backward()
+
+    for index, tensor in enumerate(inputs):
+        analytic = tensor.grad
+        if analytic is None:
+            analytic = np.zeros_like(tensor.data)
+        numeric = numeric_gradient(function, arrays, index, eps=eps)
+        error = np.abs(analytic - numeric)
+        bound = atol + rtol * np.abs(numeric)
+        if np.all(error <= bound):
+            continue
+        if not raise_on_failure:
+            return False
+        worst = np.unravel_index(int(np.argmax(error - bound)), error.shape)
+        raise GradcheckError(
+            f"gradient of input {index} fails finite-difference check at "
+            f"element {tuple(int(i) for i in worst)}: analytic "
+            f"{analytic[worst]:.6e} vs numeric {numeric[worst]:.6e} "
+            f"(|diff| {error[worst]:.3e} > atol {atol:g} + rtol*|num| "
+            f"{bound[worst]:.3e})")
+    return True

@@ -55,6 +55,9 @@ class SGD(Optimizer):
     def step(self) -> None:
         for parameter, velocity in zip(self.parameters, self._velocity):
             if parameter.grad is None:
+                # Deterministic skip after a partial backward (e.g. a loss
+                # through only one head): neither weights, weight decay nor
+                # momentum advance for untouched parameters.
                 continue
             gradient = parameter.grad
             if self.weight_decay:
@@ -99,19 +102,24 @@ class Adam(Optimizer):
         self.betas = (beta1, beta2)
         self.eps = eps
         self.weight_decay = weight_decay
-        self._step_count = 0
+        # Bias correction must count the updates each parameter actually
+        # received: after a partial backward (loss through only one head)
+        # parameters with ``grad is None`` are skipped deterministically --
+        # their moments, step counts and weights all stay untouched, so a
+        # later full backward resumes with the correct correction.
+        self._step_counts = [0] * len(self.parameters)
         self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         beta1, beta2 = self.betas
-        self._step_count += 1
-        bias_correction1 = 1.0 - beta1 ** self._step_count
-        bias_correction2 = 1.0 - beta2 ** self._step_count
-        for parameter, first, second in zip(self.parameters, self._first_moment,
-                                            self._second_moment):
+        for index, (parameter, first, second) in enumerate(
+                zip(self.parameters, self._first_moment, self._second_moment)):
             if parameter.grad is None:
                 continue
+            self._step_counts[index] += 1
+            bias_correction1 = 1.0 - beta1 ** self._step_counts[index]
+            bias_correction2 = 1.0 - beta2 ** self._step_counts[index]
             gradient = parameter.grad
             first *= beta1
             first += (1.0 - beta1) * gradient

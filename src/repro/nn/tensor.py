@@ -1,46 +1,31 @@
 """Reverse-mode autodiff tensor.
 
 A :class:`Tensor` wraps a ``float64`` NumPy array together with an optional
-gradient buffer and a closure that propagates gradients to its parents.  The
-graph is dynamic: every operation in :mod:`repro.nn.functional` records its
-parents and a backward closure; :meth:`Tensor.backward` topologically sorts the
-tape and accumulates gradients.
+gradient buffer and, when it was produced by a differentiable operation, the
+:class:`~repro.nn.autograd.Operation` node that created it.  The graph is
+dynamic: every operation in :mod:`repro.nn.functional` goes through
+:func:`repro.nn.autograd.apply`, which records the creator node;
+:meth:`Tensor.backward` hands the walk to the graph engine in
+:mod:`repro.nn.autograd`, which topologically sorts the operation nodes,
+accumulates gradients across consumers, un-broadcasts them to the operand
+shapes and releases saved activations as it goes (``retain_graph=True`` keeps
+them for a second pass).
 
-Only the features needed by the surrogate model are implemented, but those are
-implemented carefully: full broadcasting support in the element-wise
+Only the features needed by the surrogate model are implemented, but those
+are implemented carefully: full broadcasting support in the element-wise
 operations, correct un-broadcasting in their backward passes, and gradient
 accumulation when a tensor feeds several consumers.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator
-
 import numpy as np
 
 from repro.exceptions import AutodiffError
+from repro.nn import autograd
+from repro.nn.autograd import Operation, is_grad_enabled, no_grad
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
-
-_GRAD_ENABLED = True
-
-
-@contextmanager
-def no_grad() -> Iterator[None]:
-    """Context manager disabling tape construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
-    try:
-        yield
-    finally:
-        _GRAD_ENABLED = previous
-
-
-def is_grad_enabled() -> bool:
-    """Whether operations currently record the autodiff tape."""
-    return _GRAD_ENABLED
 
 
 class Tensor:
@@ -52,26 +37,18 @@ class Tensor:
         Array-like; stored as a ``float64`` NumPy array.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad`.
-    parents:
-        Tensors this node was computed from (internal use).
-    backward_fn:
-        Closure receiving the upstream gradient of this node and writing
-        gradients into the parents (internal use).
     name:
         Optional label used in error messages and debugging.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_op", "name")
 
     def __init__(self, data, requires_grad: bool = False,
-                 parents: Iterable["Tensor"] = (),
-                 backward_fn: Callable[[np.ndarray], None] | None = None,
                  name: str = "") -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad)
         self.grad: np.ndarray | None = None
-        self._parents: tuple[Tensor, ...] = tuple(parents) if _GRAD_ENABLED else ()
-        self._backward_fn = backward_fn if _GRAD_ENABLED else None
+        self._op: Operation | None = None
         self.name = name
 
     # -- ndarray-like conveniences ------------------------------------------
@@ -111,12 +88,23 @@ class Tensor:
                 f"{label})")
 
     # -- gradient machinery ---------------------------------------------------
+    @property
+    def _parents(self) -> tuple["Tensor", ...]:
+        """Tensors this node was computed from (empty for leaves)."""
+        operation = self._op
+        return operation.inputs if operation is not None else ()
+
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
 
-    def accumulate_grad(self, gradient: np.ndarray) -> None:
-        """Add ``gradient`` into :attr:`grad` (allocating it on first use)."""
+    def accumulate_grad(self, gradient: np.ndarray, *, _owned: bool = False) -> None:
+        """Add ``gradient`` into :attr:`grad` (allocating it on first use).
+
+        ``_owned`` is an engine-internal hint: a buffer the backward engine
+        allocated itself is donated directly instead of being defensively
+        copied.
+        """
         if not self.requires_grad:
             return
         gradient = np.asarray(gradient, dtype=np.float64)
@@ -125,29 +113,16 @@ class Tensor:
                 f"gradient shape {gradient.shape} does not match tensor shape "
                 f"{self.data.shape} (tensor {self.name or '<unnamed>'})")
         if self.grad is None:
-            self.grad = gradient.copy()
+            self.grad = gradient if _owned else gradient.copy()
         else:
             self.grad += gradient
 
     def _toposort(self) -> list["Tensor"]:
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-        return order
+        """Reachable tape nodes in topological order (delegates to the engine)."""
+        return autograd.toposort(self)
 
-    def backward(self, gradient: np.ndarray | float | None = None) -> None:
+    def backward(self, gradient: np.ndarray | float | None = None, *,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded tape.
 
         Parameters
@@ -155,38 +130,12 @@ class Tensor:
         gradient:
             Upstream gradient; defaults to 1 for scalar tensors (the usual
             loss case) and must be supplied explicitly otherwise.
+        retain_graph:
+            Keep saved activations after the pass so backward can run again
+            over the same graph; without it a second pass raises
+            :class:`~repro.exceptions.AutodiffError`.
         """
-        if gradient is None:
-            if self.data.size != 1:
-                raise AutodiffError(
-                    "backward() without an explicit gradient requires a scalar "
-                    f"tensor, got shape {self.shape}")
-            gradient = np.ones_like(self.data)
-        gradient = np.asarray(gradient, dtype=np.float64)
-        if gradient.shape != self.data.shape:
-            gradient = np.broadcast_to(gradient, self.data.shape).copy()
-
-        order = self._toposort()
-        grad_map: dict[int, np.ndarray] = {id(self): gradient}
-        for node in reversed(order):
-            node_grad = grad_map.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad:
-                node.accumulate_grad(node_grad)
-            if node._backward_fn is None:
-                continue
-            parent_grads = node._backward_fn(node_grad)
-            if parent_grads is None:
-                continue
-            for parent, parent_grad in zip(node._parents, parent_grads):
-                if parent_grad is None:
-                    continue
-                existing = grad_map.get(id(parent))
-                if existing is None:
-                    grad_map[id(parent)] = np.asarray(parent_grad, dtype=np.float64)
-                else:
-                    grad_map[id(parent)] = existing + parent_grad
+        autograd.backward(self, gradient, retain_graph=retain_graph)
 
     # -- operator sugar (delegates to functional) -----------------------------
     def __add__(self, other):
@@ -262,3 +211,6 @@ def _ensure_tensor(value) -> Tensor:
     if isinstance(value, Tensor):
         return value
     return Tensor(np.asarray(value, dtype=np.float64))
+
+
+autograd._register_tensor_type(Tensor)

@@ -169,6 +169,70 @@ class TestOptimizers:
             Adam([Tensor(np.ones(1))], lr=0.1)  # no trainable parameters
 
 
+class TestPartialBackward:
+    """Parameters whose grad is None after a partial backward are skipped.
+
+    A loss routed through only one head (e.g. training the mu head while the
+    sigma head is frozen out of the graph) leaves the other head's
+    parameters with ``grad is None``; optimisers must leave their weights,
+    moments and step counts untouched -- deterministically, not by updating
+    with a zero gradient.
+    """
+
+    @staticmethod
+    def _two_head_problem():
+        used = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        unused = Tensor(np.array([4.0, 7.0]), requires_grad=True)
+        return used, unused
+
+    def test_adam_skips_untouched_parameters_bitwise(self):
+        used, unused = self._two_head_problem()
+        optimizer = Adam([used, unused], lr=0.1, weight_decay=0.5)
+        before = unused.data.copy()
+        for _ in range(3):
+            optimizer.zero_grad()
+            F.sum(F.mul(used, used)).backward()  # loss through one head only
+            optimizer.step()
+        np.testing.assert_array_equal(unused.data, before)
+        assert optimizer._step_counts == [3, 0]
+        np.testing.assert_array_equal(optimizer._first_moment[1], 0.0)
+        np.testing.assert_array_equal(optimizer._second_moment[1], 0.0)
+        assert not np.array_equal(used.data, np.array([2.0, -1.0]))
+
+    def test_adam_bias_correction_counts_per_parameter(self):
+        """A late-joining parameter starts its bias correction from step 1."""
+        used, late = self._two_head_problem()
+        optimizer = Adam([used, late], lr=0.1)
+        for _ in range(4):
+            optimizer.zero_grad()
+            F.sum(F.mul(used, used)).backward()
+            optimizer.step()
+        optimizer.zero_grad()
+        F.sum(F.add(F.mul(used, used), F.mul(late, late))).backward()
+        optimizer.step()
+        assert optimizer._step_counts == [5, 1]
+
+        # The late parameter's first update must equal that of a fresh Adam
+        # seeing the same gradient on step one.
+        fresh = Tensor(np.array([4.0, 7.0]), requires_grad=True)
+        fresh_optimizer = Adam([fresh], lr=0.1)
+        fresh_optimizer.zero_grad()
+        F.sum(F.mul(fresh, fresh)).backward()
+        fresh_optimizer.step()
+        np.testing.assert_array_equal(late.data, fresh.data)
+
+    def test_sgd_skips_untouched_parameters_bitwise(self):
+        used, unused = self._two_head_problem()
+        optimizer = SGD([used, unused], lr=0.1, momentum=0.9, weight_decay=0.5)
+        before = unused.data.copy()
+        for _ in range(3):
+            optimizer.zero_grad()
+            F.sum(F.mul(used, used)).backward()
+            optimizer.step()
+        np.testing.assert_array_equal(unused.data, before)
+        np.testing.assert_array_equal(optimizer._velocity[1], 0.0)
+
+
 class TestInit:
     def test_xavier_bounds(self):
         rng = np.random.default_rng(0)

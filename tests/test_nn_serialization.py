@@ -1,0 +1,122 @@
+"""State-dict persistence tests for the GNN surrogate.
+
+Exercises the full save/load round trip through
+:mod:`repro.nn.serialization` on a real :class:`GraphNeuralSurrogate`
+(predictions must be bit-identical after reload into a differently seeded
+model) plus every error path: shape mismatches, missing and unexpected keys,
+``.npz`` suffix handling and missing files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.surrogate import GraphNeuralSurrogate, SurrogateConfig
+from repro.exceptions import SurrogateError
+from repro.gnn.graph import GraphBatch, GraphData
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+def _tiny_config(seed: int = 0) -> SurrogateConfig:
+    return SurrogateConfig(node_dim=3, edge_dim=1, xa_dim=4, xm_dim=2,
+                           graph_hidden=8, xa_hidden=8, xm_hidden=8,
+                           combined_hidden=8, dropout=0.0, seed=seed)
+
+
+def _tiny_batch(rng: np.random.Generator) -> GraphBatch:
+    graphs = []
+    for nodes in (5, 4):
+        ring = np.arange(nodes)
+        edge_index = np.vstack([np.concatenate([ring, (ring + 1) % nodes]),
+                                np.concatenate([(ring + 1) % nodes, ring])])
+        graphs.append(GraphData(
+            edge_index=edge_index,
+            edge_features=rng.standard_normal((edge_index.shape[1], 1)),
+            node_features=rng.standard_normal((nodes, 3)),
+            num_nodes=nodes))
+    return GraphBatch.from_graphs(graphs)
+
+
+class TestSurrogateRoundTrip:
+    def test_predictions_bitwise_identical_after_reload(self, tmp_path):
+        rng = np.random.default_rng(0)
+        batch = _tiny_batch(rng)
+        sample_graph_index = np.array([0, 1, 1, 0])
+        x_a = rng.standard_normal((4, 4))
+        x_m = rng.standard_normal((4, 2))
+
+        model = GraphNeuralSurrogate(_tiny_config(seed=0))
+        model.eval()
+        mu_before, sigma_before = model.predict(batch, sample_graph_index,
+                                                x_a, x_m)
+
+        path = save_state_dict(model.state_dict(), tmp_path / "surrogate")
+        reloaded = GraphNeuralSurrogate(_tiny_config(seed=99))  # different init
+        reloaded.load_state_dict(load_state_dict(path))
+        reloaded.eval()
+        mu_after, sigma_after = reloaded.predict(batch, sample_graph_index,
+                                                 x_a, x_m)
+        np.testing.assert_array_equal(mu_before, mu_after)
+        np.testing.assert_array_equal(sigma_before, sigma_after)
+
+    def test_round_trip_preserves_every_array(self, tmp_path):
+        model = GraphNeuralSurrogate(_tiny_config())
+        state = model.state_dict()
+        path = save_state_dict(state, tmp_path / "state")
+        assert path.endswith(".npz")
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        for name in state:
+            np.testing.assert_array_equal(loaded[name], state[name])
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        model = GraphNeuralSurrogate(_tiny_config())
+        save_state_dict(model.state_dict(), tmp_path / "model")
+        loaded = load_state_dict(tmp_path / "model")  # suffix inferred
+        assert loaded
+
+
+class TestErrorPaths:
+    def test_shape_mismatch_raises(self, tmp_path):
+        model = GraphNeuralSurrogate(_tiny_config())
+        state = model.state_dict()
+        name = next(iter(state))
+        state[name] = np.zeros(state[name].shape + (2,))
+        path = save_state_dict(state, tmp_path / "bad")
+        with pytest.raises(SurrogateError, match="shape mismatch"):
+            model.load_state_dict(load_state_dict(path))
+
+    def test_missing_key_raises(self):
+        model = GraphNeuralSurrogate(_tiny_config())
+        state = model.state_dict()
+        removed = next(iter(state))
+        del state[removed]
+        with pytest.raises(SurrogateError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = GraphNeuralSurrogate(_tiny_config())
+        state = model.state_dict()
+        state["bogus.weight"] = np.zeros(3)
+        with pytest.raises(SurrogateError, match="unexpected.*bogus"):
+            model.load_state_dict(state)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SurrogateError, match="no such state file"):
+            load_state_dict(tmp_path / "never_saved")
+
+    def test_empty_state_rejected(self, tmp_path):
+        with pytest.raises(SurrogateError, match="empty"):
+            save_state_dict({}, tmp_path / "empty")
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        small = GraphNeuralSurrogate(_tiny_config())
+        bigger = GraphNeuralSurrogate(
+            SurrogateConfig(node_dim=3, edge_dim=1, xa_dim=4, xm_dim=2,
+                            graph_hidden=8, xa_hidden=8, xm_hidden=8,
+                            combined_hidden=8, dropout=0.0, seed=0,
+                            combined_layers=3))
+        path = save_state_dict(bigger.state_dict(), tmp_path / "bigger")
+        with pytest.raises(SurrogateError):
+            small.load_state_dict(load_state_dict(path))
