@@ -1,0 +1,156 @@
+"""Observability overhead benchmark: traced vs untraced serving.
+
+Two scenarios, each asserting bit-identity alongside its measurement:
+
+* **Server tracing overhead** — the same warm request stream through a
+  :class:`~repro.server.server.SolveServer` with the default
+  :data:`~repro.obs.trace.NULL_TRACER` versus one carrying a live
+  :class:`~repro.obs.trace.Tracer`.  Solutions must be bit-identical (the
+  tentpole invariant: observability never participates in arithmetic); the
+  reported overhead is the per-request cost of span bookkeeping plus the
+  Krylov phase timers.
+* **Phase-timer micro cost** — a bare CG solve inside and outside
+  :func:`~repro.obs.phases.record_phases`, isolating the solver-side timer
+  cost from the serving-layer spans.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_obs.py``) or through
+pytest.  When run directly the measured numbers are written as JSON to
+``BENCH_OBS_JSON`` (default ``bench_obs.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.api import SolveRequestV1 as SolveRequest
+from repro.krylov.cg import cg
+from repro.matrices import laplacian_2d
+from repro.obs.phases import record_phases
+from repro.obs.trace import Tracer
+from repro.server import SolveServer
+from repro.service.cache import ArtifactCache
+from repro.sparse.csr import random_sparse
+
+BENCH_N = 1_200
+BENCH_DENSITY = 0.003
+
+
+def _request(matrix, index: int) -> SolveRequest:
+    rhs = np.random.default_rng(index).standard_normal(matrix.shape[0])
+    return SolveRequest(matrix=matrix, rhs=rhs, maxiter=400, tag=f"req{index}")
+
+
+def bench_tracing_overhead(requests: int = 8) -> dict:
+    """Warm request stream: NULL_TRACER server vs live-Tracer server.
+
+    Both servers see the identical stream against a warm cache, so the
+    difference isolates span bookkeeping + phase timers from solve cost.
+    """
+    matrix = random_sparse(BENCH_N, BENCH_DENSITY, seed=7, diag_boost=4.0)
+    stream = [_request(matrix, index) for index in range(requests)]
+
+    timings = {}
+    solutions = {}
+    for mode, tracer in (("untraced", None), ("traced", Tracer())):
+        kwargs = {} if tracer is None else {"tracer": tracer}
+        with SolveServer(cache=ArtifactCache(max_entries=16),
+                         background=False, **kwargs) as server:
+            server.solve(stream[0])  # warm the cache: measure serving
+            start = time.perf_counter()
+            responses = [server.solve(request) for request in stream]
+            timings[mode] = time.perf_counter() - start
+            assert all(response.converged for response in responses)
+            solutions[mode] = [response.solution for response in responses]
+        if tracer is not None:
+            spans = tracer.spans()
+            assert spans, "traced server recorded no spans"
+            phase_spans = [span for span in spans if span.name == "solve"
+                           and any(key.startswith("phase.")
+                                   for key in span.attributes)]
+            assert phase_spans, "no solve span carried phase timings"
+            tracer.close()
+
+    for ours, theirs in zip(solutions["traced"], solutions["untraced"]):
+        assert np.array_equal(ours, theirs), \
+            "tracing changed the arithmetic"
+    return {
+        "requests": requests,
+        "untraced_ms_per_request": timings["untraced"] / requests * 1e3,
+        "traced_ms_per_request": timings["traced"] / requests * 1e3,
+        "tracing_overhead_ms_per_request":
+            (timings["traced"] - timings["untraced"]) / requests * 1e3,
+        "tracing_overhead_factor":
+            timings["traced"] / max(timings["untraced"], 1e-9),
+    }
+
+
+def bench_phase_timer_cost(repeats: int = 5) -> dict:
+    """Bare CG with and without an ambient phase recorder."""
+    matrix = laplacian_2d(32)
+    rhs = np.random.default_rng(3).standard_normal(matrix.shape[0])
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        plain = cg(matrix, rhs, rtol=1e-8, maxiter=2000)
+    plain_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        with record_phases() as recorder:
+            timed = cg(matrix, rhs, rtol=1e-8, maxiter=2000)
+    timed_elapsed = time.perf_counter() - start
+
+    assert np.array_equal(plain.solution, timed.solution), \
+        "phase timers changed the arithmetic"
+    assert timed.phase_timings is not None and recorder.seconds, \
+        "recorder active but no phase timings captured"
+    assert plain.phase_timings is None, \
+        "phase timings recorded without an ambient recorder"
+    return {
+        "repeats": repeats,
+        "iterations": int(plain.iterations),
+        "plain_ms_per_solve": plain_elapsed / repeats * 1e3,
+        "timed_ms_per_solve": timed_elapsed / repeats * 1e3,
+        "timer_overhead_factor": timed_elapsed / max(plain_elapsed, 1e-9),
+        "phases": sorted(recorder.seconds),
+    }
+
+
+def test_tracing_is_bit_neutral_and_bounded():
+    """Traced serving returns identical bits (asserted inside the bench)."""
+    result = bench_tracing_overhead(requests=3)
+    print(f"\ntracing: untraced {result['untraced_ms_per_request']:.2f} "
+          f"ms/req, traced {result['traced_ms_per_request']:.2f} ms/req "
+          f"({result['tracing_overhead_factor']:.2f}x)")
+    assert result["untraced_ms_per_request"] > 0
+    assert result["traced_ms_per_request"] > 0
+
+
+def test_phase_timers_are_bit_neutral():
+    """Phase-timed CG returns identical bits (asserted inside the bench)."""
+    result = bench_phase_timer_cost(repeats=2)
+    print(f"\nphase timers: plain {result['plain_ms_per_solve']:.2f} "
+          f"ms/solve, timed {result['timed_ms_per_solve']:.2f} ms/solve "
+          f"({result['timer_overhead_factor']:.2f}x)")
+    assert result["phases"]
+
+
+def main() -> None:
+    results = {
+        "tracing_overhead": bench_tracing_overhead(),
+        "phase_timer_cost": bench_phase_timer_cost(),
+    }
+    for name, metrics in results.items():
+        print(f"{name}: {json.dumps(metrics, indent=2)}")
+    out_path = os.environ.get("BENCH_OBS_JSON", "bench_obs.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

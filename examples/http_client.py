@@ -6,8 +6,12 @@ Talks the versioned wire protocol through :class:`repro.client.HTTPClient`:
 2. ship a raw CSR matrix through the fingerprinted base64 codec,
 3. submit a queued job and poll it to completion
    (``POST /v1/submit`` + ``GET /v1/jobs/<id>``),
-4. print each response's policy provenance, then the server's telemetry
-   (``GET /v1/metrics``) and liveness (``GET /v1/healthz``).
+4. pin a trace id (``X-Repro-Trace-Id``) and observe the server echo it —
+   against a traced server the request's span tree lands in its trace file,
+5. print each response's policy provenance, then the server's telemetry
+   (``GET /v1/metrics``), a Prometheus exposition preview
+   (``GET /v1/metrics?format=prometheus``), and liveness
+   (``GET /v1/healthz``).
 
 Run standalone (starts its own in-process HTTP server on an ephemeral
 port)::
@@ -31,6 +35,7 @@ import numpy as np
 from repro.api import SolveRequestV1
 from repro.client import HTTPClient
 from repro.matrices import pdd_real_sparse
+from repro.obs.trace import new_trace_id, use_trace_id
 from repro.server.http import SolveHTTPServer
 
 
@@ -66,11 +71,27 @@ def run(client: HTTPClient) -> None:
           f"iterations={queued.iterations} "
           f"origin={queued.provenance['origin']}")
 
+    print("\n== traced POST /v1/solve (X-Repro-Trace-Id) ==")
+    trace_id = new_trace_id()
+    with use_trace_id(trace_id):
+        traced = client.solve(SolveRequestV1(matrix="2DFDLaplace_16",
+                                             tag="traced/wire"))
+    if traced.trace_id is not None:
+        print(f"{traced.tag}: sent trace id {trace_id[:12]}…, "
+              f"response echoes {traced.trace_id[:12]}…")
+    else:
+        print(f"{traced.tag}: sent trace id {trace_id[:12]}…, "
+              f"server tracing is off (no trace_id in the response)")
+
     print("\n== GET /v1/metrics ==")
     metrics = client.metrics()
     print(json.dumps({"counters": metrics.counters,
                       "queue": metrics.queue,
                       "artifact_cache": metrics.artifact_cache}, indent=2))
+
+    print("\n== GET /v1/metrics?format=prometheus (first lines) ==")
+    exposition = client.metrics_prometheus()
+    print("\n".join(exposition.splitlines()[:12]))
 
 
 def main() -> None:

@@ -361,6 +361,12 @@ class SolveResponseV1:
     actually used for this request's group (``"loop"`` or ``"block"``),
     whatever was requested.  Payloads from servers predating the field
     parse with the historical behaviour, ``"loop"``.
+
+    ``trace_id`` is optional observability metadata: the id of the request's
+    trace when the server ran with tracing enabled (also carried by the
+    ``X-Repro-Trace-Id`` response header over HTTP), ``None`` otherwise.
+    Like ``batch_mode`` it is a post-freeze optional field — payloads
+    without it parse unchanged.
     """
 
     tag: str
@@ -374,6 +380,7 @@ class SolveResponseV1:
     provenance: PolicyProvenance
     batch_size: int
     batch_mode: str = "loop"
+    trace_id: str | None = None
 
     def to_json_dict(self) -> dict:
         """The stamped wire form of this response."""
@@ -390,6 +397,7 @@ class SolveResponseV1:
             "provenance": self.provenance.to_json_dict(),
             "batch_size": int(self.batch_size),
             "batch_mode": str(self.batch_mode),
+            "trace_id": self.trace_id,
         })
         return payload
 
@@ -410,6 +418,8 @@ class SolveResponseV1:
                 payload.get("provenance", {})),
             batch_size=int(payload.get("batch_size", 1)),
             batch_mode=str(payload.get("batch_mode", "loop")),
+            trace_id=(None if payload.get("trace_id") is None
+                      else str(payload["trace_id"])),
         )
 
 

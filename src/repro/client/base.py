@@ -48,6 +48,10 @@ class Client(abc.ABC):
         """The server's telemetry snapshot."""
 
     @abc.abstractmethod
+    def metrics_prometheus(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+
+    @abc.abstractmethod
     def health(self) -> dict:
         """Liveness information (status, schema version, queue state)."""
 

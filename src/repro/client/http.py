@@ -23,8 +23,14 @@ from repro.api.schemas import (
     TelemetrySnapshot,
 )
 from repro.client.base import Client
+from repro.obs.trace import current_trace_id
 
 __all__ = ["HTTPClient"]
+
+#: Mirror of :data:`repro.server.http.TRACE_HEADER` — repeated here so the
+#: client stays a pure wire-protocol speaker with no server-package import
+#: (equality is asserted in ``tests/test_server_tracing.py``).
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 class HTTPClient(Client):
@@ -45,17 +51,23 @@ class HTTPClient(Client):
         self.timeout = float(timeout)
 
     # -- one exchange --------------------------------------------------------
-    def _exchange(self, method: str, path: str, payload: dict | None = None
-                  ) -> dict:
+    def _exchange_bytes(self, method: str, path: str,
+                        payload: dict | None = None) -> bytes:
+        headers = {"Content-Type": "application/json"}
+        # Propagate the ambient trace id so a traced server joins the
+        # caller's trace instead of minting a fresh one per request.
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         request = urllib.request.Request(
             self.base_url + path,
             data=(None if payload is None
                   else json.dumps(payload).encode("utf-8")),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method=method)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                body = reply.read()
+                return reply.read()
         except urllib.error.HTTPError as error:
             body = error.read()
             try:
@@ -66,6 +78,10 @@ class HTTPClient(Client):
                     f"server answered HTTP {error.code} without a parseable "
                     f"error envelope: {body[:200]!r}")
             envelope.raise_()
+
+    def _exchange(self, method: str, path: str, payload: dict | None = None
+                  ) -> dict:
+        body = self._exchange_bytes(method, path, payload)
         try:
             return json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -92,6 +108,11 @@ class HTTPClient(Client):
         """``GET /v1/metrics``: the server's telemetry snapshot."""
         payload = self._exchange("GET", "/v1/metrics")
         return TelemetrySnapshot.from_json_dict(payload)
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus``: text exposition format."""
+        body = self._exchange_bytes("GET", "/v1/metrics?format=prometheus")
+        return body.decode("utf-8")
 
     def health(self) -> dict:
         """``GET /v1/healthz``: liveness + queue state."""

@@ -100,6 +100,10 @@ class InProcessClient(Client):
         return TelemetrySnapshot.from_snapshot(
             self.server.telemetry_snapshot())
 
+    def metrics_prometheus(self) -> str:
+        """The wrapped server's metrics in Prometheus text format."""
+        return self.server.prometheus_metrics()
+
     def health(self) -> dict:
         """Liveness + queue state, shaped like ``GET /v1/healthz``."""
         return self.server.health_snapshot()

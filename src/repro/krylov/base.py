@@ -60,6 +60,13 @@ class SolveResult:
         :class:`~repro.krylov.block.BlockInfo` of the block solve that
         produced this column (shared by every column of the block), or
         ``None`` for a standalone single-rhs solve.
+    phase_timings:
+        ``{phase: seconds}`` wall-time split of this solve (``matvec``,
+        ``precond_apply``, and — for GMRES-type methods —
+        ``orthogonalization``), populated only while a
+        :func:`repro.obs.phases.record_phases` context is active; ``None``
+        otherwise.  For block solves the dict is shared by every column of
+        the block, mirroring how the work itself is shared.
     """
 
     solution: np.ndarray
@@ -70,6 +77,7 @@ class SolveResult:
     breakdown: bool = False
     matvecs: int | None = None
     block_info: "BlockInfo | None" = None
+    phase_timings: dict[str, float] | None = None
 
     @property
     def final_residual(self) -> float:

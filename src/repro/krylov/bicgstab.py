@@ -13,6 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.krylov.base import SolveResult, as_preconditioner_function, prepare_system
+from repro.obs.phases import (PHASE_MATVEC, PHASE_PRECOND,
+                              finish_solve_phases, solve_phase_timings,
+                              timed_operator)
 
 __all__ = ["bicgstab"]
 
@@ -30,22 +33,27 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     """
     a_matrix, b, x, maxiter, rtol = prepare_system(matrix, rhs, x0, maxiter, rtol)
     n = a_matrix.shape[0]
-    apply_m = as_preconditioner_function(preconditioner, n)
+    timings = solve_phase_timings()
+    apply_a = timed_operator(a_matrix.__matmul__, timings, PHASE_MATVEC)
+    apply_m = timed_operator(as_preconditioner_function(preconditioner, n),
+                             timings, PHASE_PRECOND)
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="bicgstab", matvecs=0)
+                           residual_norms=[0.0], solver="bicgstab", matvecs=0,
+                           phase_timings=finish_solve_phases(timings))
     tolerance = rtol * b_norm
 
-    residual = b - a_matrix @ x
+    residual = b - apply_a(x)
     matvecs = 1
     residual_norm = float(np.linalg.norm(residual))
     history = [residual_norm]
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
                            residual_norms=history, solver="bicgstab",
-                           matvecs=matvecs)
+                           matvecs=matvecs,
+                           phase_timings=finish_solve_phases(timings))
 
     shadow = residual.copy()
     rho_previous = 1.0
@@ -73,7 +81,7 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             beta = (rho / rho_previous) * (alpha / omega)
             direction = residual + beta * (direction - omega * v)
         preconditioned_direction = apply_m(direction)
-        v = a_matrix @ preconditioned_direction
+        v = apply_a(preconditioned_direction)
         matvecs += 1
         shadow_dot_v = float(np.dot(shadow, v))
         if shadow_dot_v == 0.0:
@@ -88,7 +96,7 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             converged = True
             break
         preconditioned_s = apply_m(s)
-        t = a_matrix @ preconditioned_s
+        t = apply_a(preconditioned_s)
         matvecs += 1
         t_dot_t = float(np.dot(t, t))
         if t_dot_t == 0.0:
@@ -113,4 +121,5 @@ def bicgstab(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
         converged = history[-1] <= tolerance
     return SolveResult(solution=x, converged=converged, iterations=iterations,
                        residual_norms=history, solver="bicgstab",
-                       breakdown=breakdown and not converged, matvecs=matvecs)
+                       breakdown=breakdown and not converged, matvecs=matvecs,
+                       phase_timings=finish_solve_phases(timings))

@@ -32,6 +32,7 @@ opt-in (see :class:`repro.server.scheduler.Scheduler`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -39,6 +40,9 @@ import numpy as np
 
 from repro.exceptions import MatrixFormatError, ParameterError
 from repro.krylov.base import SolveResult, as_preconditioner_function
+from repro.obs.phases import (PHASE_MATVEC, PHASE_ORTHO, PHASE_PRECOND,
+                              finish_solve_phases, solve_phase_timings,
+                              timed_operator)
 from repro.sparse.csr import validate_square
 
 __all__ = [
@@ -215,8 +219,8 @@ def _truncated_pinv(small: np.ndarray) -> tuple[np.ndarray, int]:
     return inv, rank
 
 
-def _results(solution, converged, iterations, histories, solver, broke, info
-             ) -> list[SolveResult]:
+def _results(solution, converged, iterations, histories, solver, broke, info,
+             phase_timings=None) -> list[SolveResult]:
     return [
         SolveResult(
             solution=solution[:, j].copy(),
@@ -227,6 +231,8 @@ def _results(solution, converged, iterations, histories, solver, broke, info
             breakdown=bool(broke[j] and not converged[j]),
             matvecs=None,
             block_info=info,
+            # Shared by every column, like the block work itself.
+            phase_timings=phase_timings,
         )
         for j in range(solution.shape[1])
     ]
@@ -262,7 +268,10 @@ def block_cg(matrix, rhs_block, *, preconditioner=None, x0=None,
     a_matrix, rhs, x, maxiter, rtol = _prepare_block(
         matrix, rhs_block, x0, maxiter, rtol)
     n, k = rhs.shape
-    apply_m = as_preconditioner_function(preconditioner, n)
+    timings = solve_phase_timings()
+    apply_a = timed_operator(a_matrix.__matmul__, timings, PHASE_MATVEC)
+    apply_m = timed_operator(as_preconditioner_function(preconditioner, n),
+                             timings, PHASE_PRECOND)
 
     b_norms = np.linalg.norm(rhs, axis=0)
     tolerances = rtol * b_norms
@@ -283,7 +292,7 @@ def block_cg(matrix, rhs_block, *, preconditioner=None, x0=None,
 
     active = np.where(~zero)[0]
     if active.size:
-        residual = rhs[:, active] - a_matrix @ x[:, active]
+        residual = rhs[:, active] - apply_a(x[:, active])
         matvecs += int(active.size)
         norms = np.linalg.norm(residual, axis=0)
         for local, j in enumerate(active):
@@ -300,7 +309,7 @@ def block_cg(matrix, rhs_block, *, preconditioner=None, x0=None,
 
         while active.size and total_block_iterations < maxiter:
             total_block_iterations += 1
-            a_direction = a_matrix @ direction
+            a_direction = apply_a(direction)
             matvecs += int(active.size)
             gram = direction.T @ a_direction
             gram = 0.5 * (gram + gram.T)
@@ -349,7 +358,8 @@ def block_cg(matrix, rhs_block, *, preconditioner=None, x0=None,
         solver="cg", k=k, block_iterations=total_block_iterations,
         matvecs=matvecs, deflated_columns=deflated,
         breakdown=bool(np.any(broke & ~converged)))
-    return _results(x, converged, iterations, histories, "cg", broke, info)
+    return _results(x, converged, iterations, histories, "cg", broke, info,
+                    phase_timings=finish_solve_phases(timings))
 
 
 # -- block GMRES -------------------------------------------------------------
@@ -399,7 +409,10 @@ def block_gmres(matrix, rhs_block, *, preconditioner=None, x0=None,
                 preconditioner=preconditioner, x0=x0, rtol=rtol,
                 maxiter=maxiter, restart=restart))
         return results
-    apply_m = as_preconditioner_function(preconditioner, n)
+    timings = solve_phase_timings()
+    apply_a = timed_operator(a_matrix.__matmul__, timings, PHASE_MATVEC)
+    apply_m = timed_operator(as_preconditioner_function(preconditioner, n),
+                             timings, PHASE_PRECOND)
 
     denominators = np.array(
         [float(np.linalg.norm(apply_m(rhs[:, j]))) for j in range(k)])
@@ -421,7 +434,7 @@ def block_gmres(matrix, rhs_block, *, preconditioner=None, x0=None,
     active = np.where(~zero)[0]
     if active.size:
         residual = _apply_block(
-            apply_m, rhs[:, active] - a_matrix @ x[:, active])
+            apply_m, rhs[:, active] - apply_a(x[:, active]))
         matvecs += int(active.size)
         norms = np.linalg.norm(residual, axis=0)
         for local, j in enumerate(active):
@@ -448,14 +461,17 @@ def block_gmres(matrix, rhs_block, *, preconditioner=None, x0=None,
         steps_done = 0
         lucky = False
         for j in range(cycle_steps):
-            work = _apply_block(apply_m, a_matrix @ blocks[j])
+            work = _apply_block(apply_m, apply_a(blocks[j]))
             matvecs += width
+            ortho_start = 0.0 if timings is None else time.perf_counter()
             for i in range(j + 1):
                 coupling = blocks[i].T @ work
                 work -= blocks[i] @ coupling
                 hessenberg[i * width:(i + 1) * width,
                            j * width:(j + 1) * width] = coupling
             new_block, sub_diagonal = np.linalg.qr(work)
+            if timings is not None:
+                timings.add(PHASE_ORTHO, time.perf_counter() - ortho_start)
             hessenberg[(j + 1) * width:(j + 2) * width,
                        j * width:(j + 1) * width] = sub_diagonal
             steps_done = j + 1
@@ -485,7 +501,7 @@ def block_gmres(matrix, rhs_block, *, preconditioner=None, x0=None,
         # True preconditioned residual (convergence is only ever declared on
         # it, exactly like the single-rhs solver's cycle-end recomputation).
         residual = _apply_block(
-            apply_m, rhs[:, active] - a_matrix @ x[:, active])
+            apply_m, rhs[:, active] - apply_a(x[:, active]))
         matvecs += width
         norms = np.linalg.norm(residual, axis=0)
         for local, j_col in enumerate(active):
@@ -510,4 +526,4 @@ def block_gmres(matrix, rhs_block, *, preconditioner=None, x0=None,
         matvecs=matvecs, deflated_columns=deflated,
         breakdown=bool(np.any(broke & ~converged)))
     return _results(x, converged, column_steps, histories, "gmres", broke,
-                    info)
+                    info, phase_timings=finish_solve_phases(timings))

@@ -15,6 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.krylov.base import SolveResult, as_preconditioner_function, prepare_system
+from repro.obs.phases import (PHASE_MATVEC, PHASE_PRECOND,
+                              finish_solve_phases, solve_phase_timings,
+                              timed_operator)
 
 __all__ = ["cg"]
 
@@ -31,22 +34,27 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     """
     a_matrix, b, x, maxiter, rtol = prepare_system(matrix, rhs, x0, maxiter, rtol)
     n = a_matrix.shape[0]
-    apply_m = as_preconditioner_function(preconditioner, n)
+    timings = solve_phase_timings()
+    apply_a = timed_operator(a_matrix.__matmul__, timings, PHASE_MATVEC)
+    apply_m = timed_operator(as_preconditioner_function(preconditioner, n),
+                             timings, PHASE_PRECOND)
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="cg", matvecs=0)
+                           residual_norms=[0.0], solver="cg", matvecs=0,
+                           phase_timings=finish_solve_phases(timings))
     tolerance = rtol * b_norm
 
-    residual = b - a_matrix @ x
+    residual = b - apply_a(x)
     matvecs = 1
     residual_norm = float(np.linalg.norm(residual))
     history = [residual_norm]
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
                            residual_norms=history, solver="cg",
-                           matvecs=matvecs)
+                           matvecs=matvecs,
+                           phase_timings=finish_solve_phases(timings))
 
     z = apply_m(residual)
     direction = z.copy()
@@ -58,7 +66,7 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
 
     while iterations < maxiter:
         iterations += 1
-        a_direction = a_matrix @ direction
+        a_direction = apply_a(direction)
         matvecs += 1
         denominator = float(np.dot(direction, a_direction))
         if denominator == 0.0:
@@ -89,4 +97,5 @@ def cg(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
 
     return SolveResult(solution=x, converged=converged, iterations=iterations,
                        residual_norms=history, solver="cg",
-                       breakdown=breakdown and not converged, matvecs=matvecs)
+                       breakdown=breakdown and not converged, matvecs=matvecs,
+                       phase_timings=finish_solve_phases(timings))

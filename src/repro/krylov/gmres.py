@@ -12,9 +12,14 @@ paper's performance metric tracks.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.krylov.base import SolveResult, as_preconditioner_function, prepare_system
+from repro.obs.phases import (PHASE_MATVEC, PHASE_ORTHO, PHASE_PRECOND,
+                              finish_solve_phases, solve_phase_timings,
+                              timed_operator)
 
 __all__ = ["gmres"]
 
@@ -48,14 +53,18 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     """
     a_matrix, b, x, maxiter, rtol = prepare_system(matrix, rhs, x0, maxiter, rtol)
     n = a_matrix.shape[0]
-    apply_m = as_preconditioner_function(preconditioner, n)
+    timings = solve_phase_timings()
+    apply_a = timed_operator(a_matrix.__matmul__, timings, PHASE_MATVEC)
+    apply_m = timed_operator(as_preconditioner_function(preconditioner, n),
+                             timings, PHASE_PRECOND)
     restart = int(max(1, min(restart, n, maxiter)))
 
     preconditioned_rhs_norm = float(np.linalg.norm(apply_m(b)))
     if preconditioned_rhs_norm == 0.0:
         # b (or M b) is zero: x = 0 is the exact solution.
         return SolveResult(solution=np.zeros(n), converged=True, iterations=0,
-                           residual_norms=[0.0], solver="gmres", matvecs=0)
+                           residual_norms=[0.0], solver="gmres", matvecs=0,
+                           phase_timings=finish_solve_phases(timings))
     tolerance = rtol * preconditioned_rhs_norm
 
     residual_history: list[float] = []
@@ -63,14 +72,15 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
     matvecs = 0
     converged = False
 
-    residual = apply_m(b - a_matrix @ x)
+    residual = apply_m(b - apply_a(x))
     matvecs += 1
     residual_norm = float(np.linalg.norm(residual))
     residual_history.append(residual_norm)
     if residual_norm <= tolerance:
         return SolveResult(solution=x, converged=True, iterations=0,
                            residual_norms=residual_history, solver="gmres",
-                           matvecs=matvecs)
+                           matvecs=matvecs,
+                           phase_timings=finish_solve_phases(timings))
 
     while total_iterations < maxiter and not converged:
         # --- Arnoldi process for one restart cycle ---------------------------
@@ -90,13 +100,16 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
             total_iterations += 1
             inner_used = j + 1
 
-            work = apply_m(a_matrix @ basis[j])
+            work = apply_m(apply_a(basis[j]))
             matvecs += 1
             # Modified Gram--Schmidt orthogonalisation.
+            ortho_start = 0.0 if timings is None else time.perf_counter()
             for i in range(j + 1):
                 hessenberg[i, j] = float(np.dot(work, basis[i]))
                 work = work - hessenberg[i, j] * basis[i]
             hessenberg[j + 1, j] = float(np.linalg.norm(work))
+            if timings is not None:
+                timings.add(PHASE_ORTHO, time.perf_counter() - ortho_start)
             lucky_breakdown = hessenberg[j + 1, j] <= 1e-14 * max(residual_norm, 1.0)
             if not lucky_breakdown:
                 basis[j + 1] = work / hessenberg[j + 1, j]
@@ -141,7 +154,7 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
                 y[i] = (rhs_small[i] - np.dot(hessenberg[i, i + 1:k], y[i + 1:k])) / diagonal
             x = x + basis[:k].T @ y
 
-        residual = apply_m(b - a_matrix @ x)
+        residual = apply_m(b - apply_a(x))
         matvecs += 1
         residual_norm = float(np.linalg.norm(residual))
         if residual_norm <= tolerance:
@@ -149,4 +162,5 @@ def gmres(matrix, rhs, *, preconditioner=None, x0=None, rtol: float = 1e-8,
 
     return SolveResult(solution=x, converged=converged, iterations=total_iterations,
                        residual_norms=residual_history, solver="gmres",
-                       matvecs=matvecs)
+                       matvecs=matvecs,
+                       phase_timings=finish_solve_phases(timings))

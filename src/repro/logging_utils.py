@@ -5,6 +5,11 @@ loggers so that applications embedding :mod:`repro` keep full control over log
 routing.  :func:`get_logger` is the single entry point used across the code
 base, and :func:`enable_console_logging` is a convenience for the examples and
 the benchmark harness.
+
+Log lines emitted inside a traced request (see :mod:`repro.obs.trace`) are
+correlatable with the trace: :func:`trace_logger` wraps any logger in an
+adapter that prefixes the active trace id, and :func:`log_duration` uses it,
+so its timing lines carry ``[trace=<id>]`` whenever one is ambient.
 """
 
 from __future__ import annotations
@@ -16,6 +21,31 @@ from contextlib import contextmanager
 from typing import Iterator
 
 _ROOT_NAME = "repro"
+
+
+class _TraceLoggerAdapter(logging.LoggerAdapter):
+    """Prefixes records with the ambient trace id (no-op when untraced)."""
+
+    def process(self, msg, kwargs):
+        # Imported lazily: the adapter must stay importable even while the
+        # obs package is being torn down in teardown-ordering edge cases.
+        from repro.obs.trace import current_trace_id
+
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            msg = f"[trace={trace_id}] {msg}"
+        return msg, kwargs
+
+
+def trace_logger(logger: logging.Logger | None = None) -> logging.LoggerAdapter:
+    """Wrap ``logger`` (default: the package logger) in a trace-id adapter.
+
+    Inside a traced request — an active span or a pinned trace id — every
+    message gains a ``[trace=<id>]`` prefix; outside one, messages pass
+    through unchanged, so the adapter is safe as a drop-in default.
+    """
+    return _TraceLoggerAdapter(
+        logger if logger is not None else get_logger(), {})
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -50,8 +80,12 @@ def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
 @contextmanager
 def log_duration(message: str, logger: logging.Logger | None = None,
                  level: int = logging.DEBUG) -> Iterator[None]:
-    """Context manager logging the wall-clock duration of a block."""
-    log = logger if logger is not None else get_logger()
+    """Context manager logging the wall-clock duration of a block.
+
+    When the block runs inside a traced request, the line is prefixed with
+    the active trace id so durations can be joined against the span tree.
+    """
+    log = trace_logger(logger)
     start = time.perf_counter()
     try:
         yield

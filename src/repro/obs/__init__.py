@@ -1,0 +1,63 @@
+"""Observability: span tracing, solver phase timers, Prometheus rendering.
+
+Three stdlib-only building blocks the serving stack threads through the
+request path:
+
+* :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` with parent/child
+  nesting, per-request trace IDs, JSONL streaming, and Chrome trace-event
+  export.  :data:`NULL_TRACER` is the zero-cost default when tracing is off.
+* :mod:`repro.obs.phases` — ambient per-solve phase timers (matvec,
+  preconditioner apply, orthogonalization) for the Krylov solvers.
+* :mod:`repro.obs.prometheus` — text-exposition rendering (and a matching
+  parser) for :class:`~repro.server.telemetry.MetricsRegistry`.
+"""
+
+from repro.obs.phases import (
+    PHASE_MATVEC,
+    PHASE_ORTHO,
+    PHASE_PRECOND,
+    PhaseTimings,
+    current_phase_recorder,
+    finish_solve_phases,
+    record_phases,
+    solve_phase_timings,
+    timed_operator,
+)
+from repro.obs.prometheus import (
+    PrometheusSample,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    use_trace_id,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_trace_id",
+    "current_span",
+    "current_trace_id",
+    "use_trace_id",
+    "PHASE_MATVEC",
+    "PHASE_PRECOND",
+    "PHASE_ORTHO",
+    "PhaseTimings",
+    "record_phases",
+    "current_phase_recorder",
+    "solve_phase_timings",
+    "finish_solve_phases",
+    "timed_operator",
+    "render_prometheus",
+    "parse_prometheus",
+    "PrometheusSample",
+]

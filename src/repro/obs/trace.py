@@ -1,0 +1,406 @@
+"""Span-based request tracing for the serving stack.
+
+Telemetry counters answer *how many* and *how long*; spans answer *where the
+time went* for one particular request.  A :class:`Span` is a named interval
+with monotonic start/end times, free-form attributes, and parent/child links;
+a :class:`Tracer` collects finished spans, streams them as JSONL (one JSON
+object per line, written as each span ends so a killed process still leaves a
+readable trace) and exports the whole buffer in the Chrome trace-event format
+that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly.
+
+Three context primitives keep call sites small:
+
+* ``with tracer.span("policy.decide", family="ilu0"):`` — a timed child of
+  the current span (nesting travels through a :mod:`contextvars` variable,
+  so it is correct under the threaded HTTP server);
+* :func:`use_trace_id` — pins the ambient *trace id* (one id per request,
+  propagated over HTTP as the ``X-Repro-Trace-Id`` header);
+* :func:`current_trace_id` — what :mod:`repro.logging_utils` stamps onto log
+  records so logs and traces correlate.
+
+Tracing is **opt-in and zero-cost when off**: the default collaborator is
+:data:`NULL_TRACER`, whose ``span`` returns a shared no-op context manager
+and whose ``begin``/``end`` do nothing — no ids are generated, no clocks are
+read, no memory grows.  Tracing is also **bit-neutral**: spans only observe
+wall-clock time around existing work, so solutions computed under tracing
+are identical to solutions computed without it (asserted in
+``tests/test_server_tracing.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "new_trace_id",
+    "current_span",
+    "current_trace_id",
+    "use_trace_id",
+]
+
+#: Retained-span cap of a :class:`Tracer` (the JSONL stream is unbounded;
+#: only the in-memory buffer used by the Chrome export is capped).
+DEFAULT_MAX_SPANS = 100_000
+
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_current_span", default=None)
+_CURRENT_TRACE_ID: ContextVar[str | None] = ContextVar(
+    "repro_current_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace id."""
+    return uuid.uuid4().hex
+
+
+def current_span() -> "Span | None":
+    """The innermost span open in this context (``None`` outside any span)."""
+    return _CURRENT_SPAN.get()
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id: pinned by :func:`use_trace_id`, else inherited
+    from the innermost open span, else ``None``."""
+    trace_id = _CURRENT_TRACE_ID.get()
+    if trace_id is not None:
+        return trace_id
+    span = _CURRENT_SPAN.get()
+    return None if span is None else span.trace_id
+
+
+@contextmanager
+def use_trace_id(trace_id: str | None) -> Iterator[None]:
+    """Pin the ambient trace id for the duration of the block.
+
+    ``None`` is accepted and means "no pin" (the block behaves as if the
+    manager were absent), which lets call sites stay branch-free.
+    """
+    if trace_id is None:
+        yield
+        return
+    token = _CURRENT_TRACE_ID.set(str(trace_id))
+    try:
+        yield
+    finally:
+        _CURRENT_TRACE_ID.reset(token)
+
+
+class Span:
+    """One named, timed interval of a trace.
+
+    Times are :func:`time.perf_counter` seconds (monotonic); the owning
+    tracer maps them onto the wall clock at export time.  Attributes are a
+    plain dict of JSON-serialisable values.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end",
+                 "attributes", "thread_id", "thread_name")
+
+    def __init__(self, name: str, *, trace_id: str, parent_id: str | None,
+                 start: float, attributes: dict[str, Any] | None = None
+                 ) -> None:
+        self.name = str(name)
+        self.trace_id = trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent_id = parent_id
+        self.start = float(start)
+        self.end: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.thread_id = threading.get_ident()
+        self.thread_name = threading.current_thread().name
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute (overwrites an existing key)."""
+        self.attributes[str(key)] = value
+
+    def to_json_dict(self, *, t0_wall: float = 0.0, t0_perf: float = 0.0
+                     ) -> dict:
+        """Plain-JSON rendering; perf-counter times mapped to epoch seconds."""
+        offset = t0_wall - t0_perf
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start + offset,
+            "end_s": None if self.end is None else self.end + offset,
+            "duration_s": self.duration_s,
+            "thread": self.thread_name,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+                f"dur={self.duration_s * 1e3:.3f} ms)")
+
+
+class _NullSpan:
+    """The inert span handed out by :class:`NullTracer` (shared singleton)."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    attributes: dict[str, Any] = {}
+    duration_s = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute (tracing is off)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager yielding :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Handed to servers by default so the request path pays nothing — no id
+    generation, no clock reads, no buffering — until someone opts into
+    tracing by passing a real :class:`Tracer`.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, parent: Any = None,
+             trace_id: str | None = None, **attributes) -> _NullSpanContext:
+        """A shared no-op context manager."""
+        return _NULL_SPAN_CONTEXT
+
+    def begin(self, name: str, *, parent: Any = None,
+              trace_id: str | None = None, **attributes) -> _NullSpan:
+        """:data:`NULL_SPAN`, unconditionally."""
+        return NULL_SPAN
+
+    def end(self, span: Any, **attributes) -> None:
+        """Nothing to record."""
+
+    def span_at(self, name: str, start: float, end: float, *,
+                parent: Any = None, trace_id: str | None = None,
+                **attributes) -> _NullSpan:
+        """:data:`NULL_SPAN`, unconditionally."""
+        return NULL_SPAN
+
+    def spans(self) -> list:
+        """Always empty."""
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects finished spans; streams JSONL; exports Chrome trace events.
+
+    Parameters
+    ----------
+    jsonl_path:
+        Optional path of a JSONL sink.  Every finished span is appended as
+        one JSON line *immediately* (flushed), so even a killed process
+        leaves a well-formed prefix of the trace on disk.
+    max_spans:
+        Cap of the in-memory buffer backing :meth:`spans` and
+        :meth:`export_chrome`; the oldest spans are dropped beyond it (the
+        JSONL stream is not affected).
+    """
+
+    enabled = True
+
+    def __init__(self, *, jsonl_path: str | Path | None = None,
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._spans: deque[Span] = deque(maxlen=int(max_spans))
+        self._lock = threading.Lock()
+        # Anchor pair mapping monotonic perf-counter times to the wall clock
+        # (exports carry epoch-based timestamps, spans stay monotonic).
+        self.t0_wall = time.time()
+        self.t0_perf = time.perf_counter()
+        self._jsonl_path: Path | None = (None if jsonl_path is None
+                                         else Path(jsonl_path))
+        self._jsonl_handle = None
+        if self._jsonl_path is not None:
+            self._jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+            self._jsonl_handle = open(self._jsonl_path, "a", encoding="utf-8")
+
+    # -- span lifecycle ------------------------------------------------------
+    def begin(self, name: str, *, parent: Span | None = None,
+              trace_id: str | None = None, **attributes) -> Span:
+        """Open a span explicitly (cross-thread spans end via :meth:`end`).
+
+        The trace id is resolved in order: explicit argument, the parent's,
+        the ambient :func:`current_trace_id`, a fresh id.
+        """
+        if parent is None or parent is NULL_SPAN:
+            parent_id = None
+            parent_trace = None
+        else:
+            parent_id = parent.span_id
+            parent_trace = parent.trace_id
+        resolved = (trace_id or parent_trace or current_trace_id()
+                    or new_trace_id())
+        return Span(name, trace_id=resolved, parent_id=parent_id,
+                    start=time.perf_counter(), attributes=attributes)
+
+    def end(self, span: Span, **attributes) -> None:
+        """Close and record a span opened with :meth:`begin`."""
+        if span is NULL_SPAN or not isinstance(span, Span):
+            return
+        if attributes:
+            span.attributes.update(attributes)
+        if span.end is None:
+            span.end = time.perf_counter()
+        self._record(span)
+
+    @contextmanager
+    def span(self, name: str, *, parent: Span | None = None,
+             trace_id: str | None = None, **attributes) -> Iterator[Span]:
+        """Open a timed child of the current span for the duration of a block.
+
+        With no explicit ``parent``, the innermost open span of this context
+        becomes the parent, which is what builds the per-request span tree.
+        """
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        opened = self.begin(name, parent=parent, trace_id=trace_id,
+                            **attributes)
+        token = _CURRENT_SPAN.set(opened)
+        try:
+            yield opened
+        finally:
+            _CURRENT_SPAN.reset(token)
+            self.end(opened)
+
+    def span_at(self, name: str, start: float, end: float, *,
+                parent: Span | None = None, trace_id: str | None = None,
+                **attributes) -> Span:
+        """Record a retroactive span from already-measured perf-counter times.
+
+        Used for intervals observed after the fact, e.g. the queue-wait of a
+        job (admission stamped the submit time, the scheduler knows the pop
+        time).
+        """
+        if parent is None or parent is NULL_SPAN:
+            parent_id = None
+            parent_trace = None
+        else:
+            parent_id = parent.span_id
+            parent_trace = parent.trace_id
+        resolved = (trace_id or parent_trace or current_trace_id()
+                    or new_trace_id())
+        span = Span(name, trace_id=resolved, parent_id=parent_id,
+                    start=float(start), attributes=attributes)
+        span.end = float(end)
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if self._jsonl_handle is not None:
+                line = json.dumps(span.to_json_dict(
+                    t0_wall=self.t0_wall, t0_perf=self.t0_perf))
+                self._jsonl_handle.write(line + "\n")
+                self._jsonl_handle.flush()
+
+    # -- introspection / export ----------------------------------------------
+    def spans(self, *, trace_id: str | None = None) -> list[Span]:
+        """Snapshot of the retained spans (optionally of one trace only)."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is None:
+            return snapshot
+        return [span for span in snapshot if span.trace_id == trace_id]
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write every retained span as JSON lines to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans():
+                handle.write(json.dumps(span.to_json_dict(
+                    t0_wall=self.t0_wall, t0_perf=self.t0_perf)) + "\n")
+        return path
+
+    def chrome_trace_events(self) -> dict:
+        """The retained spans as a Chrome trace-event object (JSON-ready).
+
+        Complete ``"X"`` (duration) events with microsecond timestamps —
+        the exact format ``chrome://tracing`` and Perfetto ingest.
+        """
+        offset = self.t0_wall - self.t0_perf
+        events = []
+        pid = os.getpid()
+        for span in self.spans():
+            if span.end is None:
+                continue
+            args = dict(span.attributes)
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start + offset) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome trace-event JSON for the retained spans."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace_events(), handle)
+        return path
+
+    def close(self) -> None:
+        """Close the JSONL sink (retained spans stay exportable)."""
+        with self._lock:
+            if self._jsonl_handle is not None:
+                self._jsonl_handle.close()
+                self._jsonl_handle = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,7 +20,9 @@ and HTTP/JSON traffic (:mod:`repro.server.http` +
   (stored reuse → warm start → rule table, deterministic via store
   snapshots).
 * :mod:`repro.server.telemetry` — :class:`MetricsRegistry` (counters,
-  gauges, latency/iteration histograms, JSON snapshots).
+  gauges, latency/iteration histograms — optionally labeled — JSON
+  snapshots, and the instrument walk behind the Prometheus exposition of
+  :mod:`repro.obs.prometheus`).
 * :mod:`repro.server.server` — :class:`SolveServer`, the facade with
   submit / await / drain / shutdown semantics.
 * :mod:`repro.server.http` — :class:`SolveHTTPServer`, the stdlib
@@ -46,8 +48,14 @@ from repro.server.queue import (
 from repro.server.policy import PolicyDecision, PreconditionerPolicy
 from repro.server.scheduler import Scheduler, SolveResponse
 from repro.server.server import SolveServer
-from repro.server.http import SolveHTTPServer
-from repro.server.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.server.http import SolveHTTPServer, TRACE_HEADER
+from repro.server.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_label_key,
+)
 
 __all__ = [
     "AdmissionError",
@@ -64,8 +72,10 @@ __all__ = [
     "SolveResponse",
     "SolveServer",
     "SolveHTTPServer",
+    "TRACE_HEADER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_label_key",
 ]

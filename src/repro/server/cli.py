@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 
@@ -35,6 +36,7 @@ import numpy as np
 from repro.api.errors import AdmissionError, ErrorEnvelope
 from repro.api.schemas import SolveRequestV1
 from repro.matrices.registry import MATRIX_REGISTRY
+from repro.obs.trace import Tracer
 from repro.precond.factory import KNOWN_FAMILIES
 from repro.server.http import SolveHTTPServer
 from repro.server.server import SolveServer
@@ -95,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None,
                         help="observation-store directory for policy reuse "
                              "and online feedback (default: none)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="enable request tracing and write spans to "
+                             "DIR/trace.jsonl (streamed) plus DIR/trace.json "
+                             "(Chrome trace-event format, written on clean "
+                             "shutdown; open in chrome://tracing or Perfetto). "
+                             "Applies to one-shot and --http modes alike "
+                             "(default: tracing off)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write responses + telemetry snapshot to PATH")
     parser.add_argument("--version", action="version",
@@ -108,11 +117,33 @@ def _make_rhs(kind: str, dimension: int, seed: int, index: int) -> np.ndarray:
     return np.ones(dimension)
 
 
+def _make_tracer(trace_dir: str | None) -> Tracer | None:
+    """A JSONL-streaming tracer rooted at ``trace_dir`` (None = tracing off)."""
+    if trace_dir is None:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    return Tracer(jsonl_path=os.path.join(trace_dir, "trace.jsonl"))
+
+
+def _finish_tracer(tracer: Tracer | None, trace_dir: str | None) -> None:
+    """Write the Chrome trace-event export and release the JSONL sink."""
+    if tracer is None:
+        return
+    chrome_path = os.path.join(trace_dir, "trace.json")
+    tracer.export_chrome(chrome_path)
+    tracer.close()
+    print(f"repro-serve: wrote trace to {trace_dir}/trace.jsonl "
+          f"and {chrome_path}", flush=True)
+
+
 def _serve_http(args: argparse.Namespace) -> int:
     """Blocking wire-server mode; returns 0 on a graceful interrupt."""
+    tracer = _make_tracer(args.trace_dir)
+    server_kwargs = {} if tracer is None else {"tracer": tracer}
     http_server = SolveHTTPServer(host=args.host, port=args.port,
                                   store=args.store,
-                                  batch_mode=args.batch_mode)
+                                  batch_mode=args.batch_mode,
+                                  **server_kwargs)
 
     def interrupt(signum, frame):  # noqa: ARG001 - signal API
         raise KeyboardInterrupt
@@ -129,6 +160,7 @@ def _serve_http(args: argparse.Namespace) -> int:
         print("repro-serve: drained and shut down cleanly", flush=True)
     finally:
         signal.signal(signal.SIGTERM, previous)
+        _finish_tracer(tracer, args.trace_dir)
     return 0
 
 
@@ -170,7 +202,10 @@ def main(argv: list[str] | None = None) -> int:
 
     dimension = MATRIX_REGISTRY[args.matrix].dimension
     preconditioner = None if args.preconditioner == "auto" else args.preconditioner
-    with SolveServer(store=args.store, batch_mode=args.batch_mode) as server:
+    tracer = _make_tracer(args.trace_dir)
+    server_kwargs = {} if tracer is None else {"tracer": tracer}
+    with SolveServer(store=args.store, batch_mode=args.batch_mode,
+                     **server_kwargs) as server:
         try:
             jobs = server.submit_many([
                 SolveRequestV1(matrix=args.matrix,
@@ -192,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         server.drain()
         responses = [job.result() for job in jobs]
         snapshot = server.telemetry_snapshot()
+    _finish_tracer(tracer, args.trace_dir)
 
     exit_code = 0
     report = []

@@ -18,8 +18,15 @@ POST     ``/v1/solve``      ``solve_request`` → ``solve_response`` (sync)
 POST     ``/v1/submit``     ``solve_request`` → ``job_status`` (queued, 202)
 GET      ``/v1/jobs/<id>``  → ``job_status`` (result / error once finished)
 GET      ``/v1/metrics``    → ``telemetry`` snapshot
+                             (``?format=prometheus`` → text exposition)
 GET      ``/v1/healthz``    → liveness + queue state
 =======  =================  ===================================================
+
+Tracing: a client may send an ``X-Repro-Trace-Id`` header on solve/submit;
+the server pins it as the ambient trace id for the request (so a traced
+server's spans join the caller's trace) and echoes the id — the client's, or
+the server-generated one when tracing is on — on the response header and in
+``SolveResponseV1.trace_id``.
 
 Failures travel as :class:`~repro.api.errors.ErrorEnvelope` bodies under the
 HTTP status of their code: admission rejections keep their structured reason
@@ -34,6 +41,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.api.errors import (
     AdmissionError,
@@ -44,17 +52,26 @@ from repro.api.errors import (
 )
 from repro.api.schemas import SolveRequestV1, TelemetrySnapshot
 from repro.logging_utils import get_logger
+from repro.obs.trace import use_trace_id
 from repro.server.queue import Job, job_status
 from repro.server.server import SolveServer
 from repro.version import __version__
 
-__all__ = ["SolveHTTPServer"]
+__all__ = ["SolveHTTPServer", "TRACE_HEADER"]
 
 _LOG = get_logger("server.http")
 
 #: Request bodies beyond this size are rejected (``bad_request``) before any
 #: decoding work happens — a wire server must bound what it buffers.
 MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Header propagating a request's trace id in both directions.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Longest accepted inbound trace id (anything longer is ignored — the
+#: header is client-controlled and must not become an amplification vector
+#: for span attributes and logs).
+MAX_TRACE_ID_CHARS = 128
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -67,10 +84,22 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         _LOG.debug("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -102,6 +131,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self.close_connection = True
                 return
             length -= len(chunk)
+
+    def _request_trace_id(self) -> str | None:
+        """The caller's trace id from ``X-Repro-Trace-Id``, if plausible."""
+        raw = self.headers.get(TRACE_HEADER)
+        if raw is None:
+            return None
+        raw = raw.strip()
+        if not raw or len(raw) > MAX_TRACE_ID_CHARS:
+            return None
+        return raw
+
+    def _split_path(self) -> tuple[str, dict[str, list[str]]]:
+        """``self.path`` split into the route and its parsed query string."""
+        route, _, query = self.path.partition("?")
+        return route, parse_qs(query)
 
     def _read_request_schema(self) -> SolveRequestV1:
         length = self._body_length()
@@ -137,9 +181,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/v1/solve":
+        route, _ = self._split_path()
+        if route == "/v1/solve":
             self._dispatch(self._post_solve)
-        elif self.path == "/v1/submit":
+        elif route == "/v1/submit":
             self._dispatch(self._post_submit)
         else:
             self._drain_body()
@@ -147,29 +192,38 @@ class _Handler(BaseHTTPRequestHandler):
                 code=ERROR_NOT_FOUND, message=f"no such endpoint {self.path}"))
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/v1/healthz":
+        route, query = self._split_path()
+        if route == "/v1/healthz":
             self._dispatch(self._get_healthz)
-        elif self.path == "/v1/metrics":
-            self._dispatch(self._get_metrics)
-        elif self.path.startswith("/v1/jobs/"):
-            self._dispatch(self._get_job)
+        elif route == "/v1/metrics":
+            self._dispatch(lambda: self._get_metrics(query))
+        elif route.startswith("/v1/jobs/"):
+            self._dispatch(lambda: self._get_job(route))
         else:
             self._send_error_envelope(ErrorEnvelope(
                 code=ERROR_NOT_FOUND, message=f"no such endpoint {self.path}"))
 
     def _post_solve(self) -> None:
         request = self._read_request_schema()
-        response = self.server.adapter.solve_server.solve(request)
-        self._send_json(200, response.to_json_dict())
+        trace_id = self._request_trace_id()
+        with use_trace_id(trace_id):
+            response = self.server.adapter.solve_server.solve(request)
+        echo = response.trace_id or trace_id
+        self._send_json(200, response.to_json_dict(),
+                        headers=None if echo is None else {TRACE_HEADER: echo})
 
     def _post_submit(self) -> None:
         request = self._read_request_schema()
-        job = self.server.adapter.solve_server.submit(request)
+        trace_id = self._request_trace_id()
+        with use_trace_id(trace_id):
+            job = self.server.adapter.solve_server.submit(request)
         self.server.adapter.track_job(job)
-        self._send_json(202, job_status(job).to_json_dict())
+        echo = job.trace_id or trace_id
+        self._send_json(202, job_status(job).to_json_dict(),
+                        headers=None if echo is None else {TRACE_HEADER: echo})
 
-    def _get_job(self) -> None:
-        token = self.path[len("/v1/jobs/"):]
+    def _get_job(self, route: str) -> None:
+        token = route[len("/v1/jobs/"):]
         try:
             job_id = int(token)
         except ValueError:
@@ -184,7 +238,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, job_status(job).to_json_dict())
 
-    def _get_metrics(self) -> None:
+    def _get_metrics(self, query: dict[str, list[str]]) -> None:
+        fmt = (query.get("format") or ["json"])[-1].lower()
+        if fmt == "prometheus":
+            self._send_text(
+                200, self.server.adapter.solve_server.prometheus_metrics(),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
+            return
+        if fmt != "json":
+            self._send_error_envelope(ErrorEnvelope(
+                code=ERROR_BAD_REQUEST,
+                message=f"unknown metrics format {fmt!r} "
+                        "(expected 'json' or 'prometheus')"))
+            return
         snapshot = TelemetrySnapshot.from_snapshot(
             self.server.adapter.solve_server.telemetry_snapshot())
         self._send_json(200, snapshot.to_json_dict())

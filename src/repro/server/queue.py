@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import Any
 
 from repro.api.errors import (
@@ -66,10 +67,19 @@ SolveRequest = SolveRequestV1
 
 
 class Job:
-    """An admitted request: a waitable handle with result / exception."""
+    """An admitted request: a waitable handle with result / exception.
+
+    ``submitted_at`` / ``started_at`` / ``finished_at`` are
+    ``time.perf_counter()`` stamps (admission, pop by the scheduler,
+    completion) — the queue-wait and end-to-end spans of a traced request
+    are reconstructed from them.  ``trace_id`` / ``root_span`` carry the
+    request's trace across the submit → worker thread boundary; both stay
+    ``None`` when tracing is off.
+    """
 
     __slots__ = ("id", "request", "state", "_event", "_result", "_error",
-                 "submitted_at", "started_at", "finished_at")
+                 "submitted_at", "started_at", "finished_at",
+                 "trace_id", "root_span")
 
     PENDING = "pending"
     RUNNING = "running"
@@ -86,6 +96,8 @@ class Job:
         self.submitted_at: float | None = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.trace_id: str | None = None
+        self.root_span = None
 
     def done(self) -> bool:
         """Whether the job has finished (successfully or not)."""
@@ -199,7 +211,8 @@ class JobQueue:
             return not self._heap and self._inflight == 0
 
     # -- admission ----------------------------------------------------------
-    def submit(self, request: SolveRequest) -> Job:
+    def submit(self, request: SolveRequest, *, trace_id: str | None = None,
+               root_span=None) -> Job:
         """Admit ``request`` or raise :class:`AdmissionError` with a reason.
 
         Validation happens here, at the API boundary (shared with the HTTP
@@ -207,6 +220,11 @@ class JobQueue:
         malformed requests — non-finite rhs entries, shape mismatches,
         unknown solver/preconditioner names — are rejected with the
         structured ``invalid`` reason instead of crashing a solver later.
+
+        ``trace_id`` / ``root_span`` attach the submitter's trace to the
+        job *before* it becomes poppable — the scheduler thread may pick
+        the job up the instant the lock is released, so stamping them
+        after submit would race.
         """
         validate_request(request)
         with self._condition:
@@ -221,6 +239,9 @@ class JobQueue:
                     f"{self._max_depth}")
             sequence = next(self._sequence)
             job = Job(sequence, request)
+            job.submitted_at = time.perf_counter()
+            job.trace_id = trace_id
+            job.root_span = root_span
             # Min-heap: negate priority so higher priorities pop first; the
             # sequence number breaks ties FIFO and makes entries totally
             # ordered (Jobs themselves are not comparable).
@@ -247,6 +268,7 @@ class JobQueue:
             while self._heap and len(batch) < limit:
                 _, _, job = heapq.heappop(self._heap)
                 job.state = Job.RUNNING
+                job.started_at = time.perf_counter()
                 batch.append(job)
             self._inflight += len(batch)
             if batch:

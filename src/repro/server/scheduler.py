@@ -65,6 +65,8 @@ from repro.matrices.features import feature_vector
 from repro.matrices.registry import get_matrix
 from repro.mcmc.preconditioner import MCMCPreconditioner
 from repro.mcmc.walks import TransitionTable
+from repro.obs.phases import record_phases
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.precond.factory import make_preconditioner
 from repro.server.policy import PolicyDecision, PreconditionerPolicy
@@ -76,9 +78,23 @@ from repro.sparse.csr import validate_square
 from repro.sparse.fingerprint import matrix_fingerprint
 from repro.sparse.splitting import jacobi_splitting
 
-__all__ = ["SolveResponse", "Scheduler"]
+__all__ = ["SolveResponse", "Scheduler", "end_job_trace"]
 
 _LOG = get_logger("server.scheduler")
+
+
+def end_job_trace(tracer, job: Job, **attributes) -> None:
+    """Close a job's request root span exactly once (no-op when untraced).
+
+    The root span is detached from the job before ending so the scheduler's
+    completion path and the server's failure-fallback path cannot both
+    record it.
+    """
+    root = job.root_span
+    if root is None:
+        return
+    job.root_span = None
+    tracer.end(root, **attributes)
 
 
 #: Deprecated alias of :class:`repro.api.schemas.SolveResponseV1` — the
@@ -148,11 +164,13 @@ class Scheduler:
                  telemetry: MetricsRegistry | None = None,
                  store: ObservationStore | None = None,
                  record_observations: bool = True,
-                 batch_mode: str = "loop") -> None:
+                 batch_mode: str = "loop",
+                 tracer=None) -> None:
         self.policy = policy
         self.cache = cache
         self.executor = executor if executor is not None else SerialExecutor()
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.store = store
         self.record_observations = record_observations
         if batch_mode not in BATCH_MODES:
@@ -181,6 +199,8 @@ class Scheduler:
                     if not job.done():
                         self.telemetry.counter("jobs_failed").add(1)
                         job._finish(error=error)
+                    end_job_trace(self.tracer, job, outcome="error",
+                                  error=str(error))
 
     def _group(self, jobs: list[Job]) -> list[_Group]:
         groups: dict[tuple, _Group] = {}
@@ -192,6 +212,8 @@ class Scheduler:
             except Exception as error:  # noqa: BLE001 - surfaced on the job
                 self.telemetry.counter("jobs_failed").add(1)
                 job._finish(error=error)
+                end_job_trace(self.tracer, job, outcome="error",
+                              error=str(error))
                 continue
             batch_mode = (self.batch_mode if request.batch_mode is None
                           else str(request.batch_mode).strip().lower())
@@ -222,11 +244,35 @@ class Scheduler:
 
     # -- one group ----------------------------------------------------------
     def _run_group(self, group: _Group) -> None:
+        tr = self.tracer
         start = time.perf_counter()
-        decision = self.policy.decide(
-            group.matrix, group.fingerprint,
-            solver=group.solver, preconditioner=group.preconditioner)
-        preconditioner, built_family = self._preconditioner(group, decision)
+        # Group-shared spans (policy, preconditioner, solve) hang off the
+        # first traced job's request root: a group exists because its jobs
+        # share this work, so the leader's trace carries it once.  Each job
+        # still gets its own queue-wait span under its own root.
+        leader = next((job.root_span for job in group.jobs
+                       if job.root_span is not None), None)
+        if tr.enabled:
+            for job in group.jobs:
+                if (job.root_span is not None and job.submitted_at is not None
+                        and job.started_at is not None):
+                    tr.span_at("queue.wait", job.submitted_at, job.started_at,
+                               parent=job.root_span, job_id=job.id)
+
+        with tr.span("policy.decide", parent=leader,
+                     fingerprint=group.fingerprint[:12]) as policy_span:
+            decision = self.policy.decide(
+                group.matrix, group.fingerprint,
+                solver=group.solver, preconditioner=group.preconditioner)
+            policy_span.set_attribute("family", decision.family)
+            policy_span.set_attribute("solver", decision.solver)
+            policy_span.set_attribute("origin", decision.origin)
+            if decision.rule:
+                policy_span.set_attribute("rule", decision.rule)
+            if decision.neighbour_name is not None:
+                policy_span.set_attribute("neighbour", decision.neighbour_name)
+        preconditioner, built_family = self._preconditioner(
+            group, decision, parent=leader)
         settings = SolverSettings(rtol=group.rtol, maxiter=group.maxiter,
                                   batch_mode=group.batch_mode)
         kwargs = settings.solver_kwargs(decision.solver, group.matrix.shape[0])
@@ -242,9 +288,30 @@ class Scheduler:
             # than fail the whole group.
             self.telemetry.counter("solve.block_unsupported").add(1)
             call_mode = "loop"
-        results = solve_many(group.matrix, columns, solver=decision.solver,
-                             preconditioner=preconditioner, mode=call_mode,
-                             **kwargs)
+
+        def run_solve():
+            return solve_many(group.matrix, columns, solver=decision.solver,
+                              preconditioner=preconditioner, mode=call_mode,
+                              **kwargs)
+
+        if tr.enabled:
+            with tr.span("solve", parent=leader, solver=decision.solver,
+                         mode=call_mode,
+                         batch_size=len(group.jobs)) as solve_span:
+                with record_phases() as recorder:
+                    results = run_solve()
+                # Per-phase wall time: on the span for this request's trace,
+                # and aggregated per matrix fingerprint for fleet-level
+                # "where does this matrix spend its time" queries.
+                for phase, seconds in recorder.as_dict().items():
+                    solve_span.set_attribute(f"phase.{phase}_ms",
+                                             seconds * 1e3)
+                    self.telemetry.histogram(
+                        "solve.phase_ms", phase=phase,
+                        fingerprint=group.fingerprint[:12]).observe(
+                            seconds * 1e3)
+        else:
+            results = run_solve()
         elapsed_ms = (time.perf_counter() - start) * 1e3
 
         summary = block_summary(results)
@@ -260,6 +327,9 @@ class Scheduler:
         provenance = PolicyProvenance.from_decision(decision, built_family)
         batch = len(group.jobs)
         self.telemetry.histogram("solve.batch_size").observe(batch)
+        self.telemetry.counter("solve.completed", solver=decision.solver,
+                               preconditioner=built_family,
+                               batch_mode=batch_mode_used).add(batch)
         for job, column, result in zip(group.jobs, columns, results):
             response = SolveResponseV1(
                 tag=job.request.tag,
@@ -273,11 +343,17 @@ class Scheduler:
                 provenance=provenance,
                 batch_size=batch,
                 batch_mode=batch_mode_used,
+                trace_id=job.trace_id,
             )
             self.telemetry.counter("solves_total").add(1)
             if not result.converged:
                 self.telemetry.counter("solves_not_converged").add(1)
             self.telemetry.histogram("solve.iterations").observe(result.iterations)
+            # Per-fingerprint iteration counts: what block-auto width
+            # selection and the surrogate-policy loop consume.
+            self.telemetry.histogram(
+                "solve.iterations", solver=decision.solver,
+                fingerprint=group.fingerprint[:12]).observe(result.iterations)
             # Every caller in the group waited for the whole group, so the
             # honest per-request latency is the full elapsed time; the
             # batching win shows up in the amortised-cost histogram.
@@ -292,9 +368,13 @@ class Scheduler:
                                          settings, column, result.iterations)
             job.finished_at = time.perf_counter()
             job._finish(result=response)
+            end_job_trace(tr, job, outcome="ok", solver=decision.solver,
+                          converged=bool(result.converged),
+                          iterations=int(result.iterations))
 
     # -- preconditioner assembly (shared through the cache) ------------------
-    def _preconditioner(self, group: _Group, decision: PolicyDecision):
+    def _preconditioner(self, group: _Group, decision: PolicyDecision,
+                        parent=None):
         """The built preconditioner for this decision, building at most once.
 
         The cache entry stores ``(preconditioner, built_family)``;
@@ -302,22 +382,37 @@ class Scheduler:
         broke down and the deterministic identity fallback was used.
         """
         self.telemetry.counter("precond.requests").add(1)
+        tr = self.tracer
+        build_ran = []
 
         def build():
+            build_ran.append(True)
             self.telemetry.counter("precond.builds").add(1)
-            try:
-                return self._build(group, decision), decision.family
-            except PreconditionerError as error:
-                # Deterministic fallback: same decision -> same failure ->
-                # same identity operator, so cached and fresh paths agree.
-                self.telemetry.counter("precond.fallbacks").add(1)
-                _LOG.warning("%s build failed for %s (%s); "
-                             "falling back to identity",
-                             decision.family, group.fingerprint[:8], error)
-                return None, "none"
+            # Child of the enclosing "preconditioner" span via the ambient
+            # context (get_or_build runs the builder in the calling thread).
+            with tr.span("precond.build", family=decision.family):
+                try:
+                    return self._build(group, decision), decision.family
+                except PreconditionerError as error:
+                    # Deterministic fallback: same decision -> same failure ->
+                    # same identity operator, so cached and fresh paths agree.
+                    self.telemetry.counter("precond.fallbacks").add(1)
+                    _LOG.warning("%s build failed for %s (%s); "
+                                 "falling back to identity",
+                                 decision.family, group.fingerprint[:8], error)
+                    return None, "none"
 
-        return self.cache.get_or_build(
-            decision.cache_key(group.fingerprint), build)
+        with tr.span("preconditioner", parent=parent,
+                     family=decision.family,
+                     fingerprint=group.fingerprint[:12]) as span:
+            preconditioner, built_family = self.cache.get_or_build(
+                decision.cache_key(group.fingerprint), build)
+            cache_hit = not build_ran
+            span.set_attribute("cache_hit", cache_hit)
+            span.set_attribute("built_family", built_family)
+        self.telemetry.counter(
+            "precond.cache", outcome="hit" if cache_hit else "miss").add(1)
+        return preconditioner, built_family
 
     def _build(self, group: _Group, decision: PolicyDecision):
         if decision.family == "mcmc":

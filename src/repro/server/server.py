@@ -37,10 +37,12 @@ from repro.api.versioning import SCHEMA_VERSION, version_stamp
 from repro.exceptions import ParameterError
 from repro.logging_utils import get_logger
 from repro.mcmc.parameters import DEFAULT_BOUNDS, ParameterBounds
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import NULL_TRACER, current_trace_id, new_trace_id
 from repro.parallel.executor import Executor
 from repro.server.policy import PreconditionerPolicy
 from repro.server.queue import Job, JobQueue
-from repro.server.scheduler import Scheduler
+from repro.server.scheduler import Scheduler, end_job_trace
 from repro.server.telemetry import MetricsRegistry
 from repro.service.cache import ArtifactCache, global_cache
 from repro.service.store import ObservationStore
@@ -87,6 +89,12 @@ class SolveServer:
         identical to the solve tolerance, *not* to the bit).  Requests may
         override it individually via
         :attr:`~repro.api.schemas.SolveRequestV1.batch_mode`.
+    tracer:
+        A :class:`repro.obs.trace.Tracer` to record per-request span trees
+        (admission → queue wait → policy → preconditioner → solve).
+        ``None`` (the default) installs the no-op tracer: the request path
+        then performs no id generation, no clock reads and no buffering,
+        and solutions are bit-identical either way.
     """
 
     def __init__(self, *, store: ObservationStore | str | None = None,
@@ -98,19 +106,21 @@ class SolveServer:
                  bounds: ParameterBounds = DEFAULT_BOUNDS,
                  background: bool = True,
                  telemetry: MetricsRegistry | None = None,
-                 batch_mode: str = "loop") -> None:
+                 batch_mode: str = "loop",
+                 tracer=None) -> None:
         self.store = (ObservationStore(store)
                       if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
                       else store)
         self.cache = cache if cache is not None else global_cache()
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.policy = PreconditionerPolicy(self.store, bounds=bounds)
         self.queue = JobQueue(max_depth=max_queue_depth)
         self.scheduler = Scheduler(
             policy=self.policy, cache=self.cache, executor=executor,
             telemetry=self.telemetry, store=self.store,
             record_observations=record_observations,
-            batch_mode=batch_mode)
+            batch_mode=batch_mode, tracer=self.tracer)
         if batch_max is not None and batch_max < 1:
             raise ParameterError(
                 f"batch_max must be >= 1 (or None), got {batch_max}")
@@ -221,6 +231,23 @@ class SolveServer:
         snapshot["artifact_cache"] = self.cache.stats.as_dict()
         return snapshot
 
+    def prometheus_metrics(self) -> str:
+        """Every instrument in Prometheus text-exposition format.
+
+        Queue state and artifact-cache stats (which live outside the
+        registry) are merged in as gauges, so one scrape covers the whole
+        server (``GET /v1/metrics?format=prometheus``).
+        """
+        self._observe_depth()
+        extra = {
+            "queue.admitted": float(self.queue.admitted),
+            "queue.max_depth": float(self.queue.max_depth),
+        }
+        for key, value in self.cache.stats.as_dict().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                extra[f"artifact_cache.{key}"] = float(value)
+        return render_prometheus(self.telemetry, extra_gauges=extra)
+
     def refresh_policy(self) -> None:
         """Re-snapshot the store so decisions see records written since."""
         self.policy.refresh()
@@ -242,12 +269,32 @@ class SolveServer:
 
     # -- internals -----------------------------------------------------------
     def _admit(self, request: SolveRequest) -> Job:
+        tracer = self.tracer
+        root = None
+        trace_id = None
+        if tracer.enabled:
+            # Reuse the caller's ambient trace id (the HTTP adapter pins the
+            # X-Repro-Trace-Id header) so one id follows the request across
+            # the wire, the queue and the worker thread.
+            trace_id = current_trace_id() or new_trace_id()
+            root = tracer.begin(
+                "request", trace_id=trace_id,
+                solver=request.solver or "auto",
+                preconditioner=request.preconditioner or "auto",
+                priority=int(request.priority))
+        admission = tracer.begin("admission", parent=root)
         try:
-            job = self.queue.submit(request)
+            job = self.queue.submit(request, trace_id=trace_id,
+                                    root_span=root)
         except Exception as error:
             reason = getattr(error, "reason", "error")
             self.telemetry.counter(f"rejected.{reason}").add(1)
+            self.telemetry.counter("solve.rejected", reason=reason).add(1)
+            tracer.end(admission, outcome="rejected", reason=reason)
+            if root is not None:
+                tracer.end(root, outcome="rejected", reason=reason)
             raise
+        tracer.end(admission, outcome="admitted", job_id=job.id)
         self.telemetry.counter("requests_admitted").add(1)
         self._observe_depth()
         return job
@@ -270,6 +317,8 @@ class SolveServer:
                 if not job.done():
                     self.telemetry.counter("jobs_failed").add(1)
                     job._finish(error=error)
+                end_job_trace(self.tracer, job, outcome="error",
+                              error=str(error))
         finally:
             for job in batch:
                 self.queue.finish(job)

@@ -1,0 +1,235 @@
+"""Labeled metrics, reservoir quantiles, and the Prometheus exposition."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.prometheus import parse_prometheus, render_prometheus
+from repro.server.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    render_label_key,
+)
+
+
+# -- labeled instruments ------------------------------------------------------
+def test_render_label_key_sorts_and_escapes():
+    assert render_label_key("m", {}) == "m"
+    assert render_label_key("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+    assert render_label_key("m", {"x": 'say "hi"\n'}) == \
+        'm{x="say \\"hi\\"\\n"}'
+
+
+def test_labeled_instruments_are_distinct_per_label_set():
+    registry = MetricsRegistry()
+    registry.counter("solve.rejected", reason="queue_full").add(2)
+    registry.counter("solve.rejected", reason="invalid").add(1)
+    registry.counter("solve.rejected").add(5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["solve.rejected"] == 5
+    assert snapshot["counters"]['solve.rejected{reason="queue_full"}'] == 2
+    assert snapshot["counters"]['solve.rejected{reason="invalid"}'] == 1
+
+
+def test_same_label_set_resolves_to_same_instrument():
+    registry = MetricsRegistry()
+    first = registry.counter("c", a="1", b="2")
+    second = registry.counter("c", b="2", a="1")  # kwargs order irrelevant
+    assert first is second
+    first.add(1)
+    assert second.value == 1
+
+
+def test_unlabeled_snapshot_shape_is_unchanged():
+    registry = MetricsRegistry()
+    registry.counter("requests").add(3)
+    registry.gauge("depth").set(4.0)
+    registry.histogram("latency_ms").observe(1.5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"requests": 3}
+    assert snapshot["gauges"] == {"depth": 4.0}
+    assert set(snapshot["histograms"]) == {"latency_ms"}
+
+
+def test_invalid_label_name_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ParameterError):
+        registry.counter("c", **{"bad-name": "v"})
+
+
+def test_instruments_walk_is_sorted_by_key():
+    registry = MetricsRegistry()
+    registry.counter("b").add(1)
+    registry.counter("a", x="1").add(1)
+    registry.histogram("h").observe(1.0)
+    instruments = registry.instruments()
+    assert [c.key for c in instruments["counters"]] == ['a{x="1"}', "b"]
+    assert [h.key for h in instruments["histograms"]] == ["h"]
+
+
+# -- reservoir sampling -------------------------------------------------------
+def test_reservoir_quantiles_track_a_shifted_distribution():
+    """The regression the reservoir fixes: with first-N retention, quantiles
+    freeze on the early distribution once the buffer fills; Algorithm R keeps
+    the reservoir uniform over the whole stream, so p95 must follow a shift
+    that happens entirely after overflow."""
+    histogram = Histogram("latency", max_samples=512)
+    for _ in range(512):
+        histogram.observe(1.0)  # fill the reservoir at the old regime
+    for _ in range(20_000):
+        histogram.observe(100.0)  # post-overflow regime shift
+    summary = histogram.summary()
+    assert summary["count"] == 20_512
+    # ~97.5% of the stream is at 100; first-N retention would report p95=1.0
+    assert summary["p95"] == 100.0
+    assert summary["p50"] == 100.0
+    assert summary["min"] == 1.0 and summary["max"] == 100.0
+
+
+def test_reservoir_is_deterministic_per_key():
+    streams = []
+    for _ in range(2):
+        histogram = Histogram("h", max_samples=64)
+        for value in range(1000):
+            histogram.observe(float(value))
+        streams.append(histogram.summary())
+    assert streams[0] == streams[1]
+
+
+def test_reservoir_stays_roughly_uniform():
+    histogram = Histogram("uniformity", max_samples=1024)
+    for value in range(100_000):
+        histogram.observe(float(value))
+    # the p50 estimate of a uniform 0..99999 stream must land near 50k
+    assert abs(histogram.quantile(0.5) - 50_000) < 10_000
+    assert histogram.count == 100_000
+
+
+def test_exact_aggregates_survive_overflow():
+    histogram = Histogram("h", max_samples=4)
+    for value in (1.0, 2.0, 3.0, 4.0, 5.0, 100.0):
+        histogram.observe(value)
+    assert histogram.count == 6
+    assert histogram.sum == 115.0
+    summary = histogram.summary()
+    assert summary["min"] == 1.0 and summary["max"] == 100.0
+    assert summary["mean"] == pytest.approx(115.0 / 6)
+
+
+def test_p99_reported_and_ordered():
+    histogram = Histogram("h")
+    for value in range(1, 1001):
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+    assert summary["p99"] == pytest.approx(990.01, rel=1e-6)
+
+
+def test_empty_histogram_summary_has_p99():
+    summary = Histogram("h").summary()
+    assert summary["count"] == 0
+    assert np.isnan(summary["p99"])
+
+
+# -- concurrency --------------------------------------------------------------
+def test_registry_under_concurrent_writers():
+    registry = MetricsRegistry()
+    errors = []
+
+    def worker(index: int) -> None:
+        try:
+            for i in range(500):
+                registry.counter("total").add(1)
+                registry.counter("by_worker", worker=str(index)).add(1)
+                registry.gauge("depth", worker=str(index)).set(i)
+                registry.histogram("obs", max_samples=128).observe(float(i))
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert registry.counter("total").value == 8 * 500
+    for index in range(8):
+        assert registry.counter("by_worker", worker=str(index)).value == 500
+    histogram = registry.histogram("obs")
+    assert histogram.count == 8 * 500
+    # reservoir bounded despite 4000 observations
+    assert len(histogram._samples) == 128
+    # snapshot is coherent JSON-serialisable output under the same races
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["total"] == 8 * 500
+
+
+# -- Prometheus exposition ----------------------------------------------------
+def test_prometheus_render_parse_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("requests.admitted").add(7)
+    registry.counter("solve.rejected", reason="queue_full").add(2)
+    registry.gauge("queue.depth").set(3.0)
+    histogram = registry.histogram("solve.latency_ms")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+
+    text = render_prometheus(registry,
+                             extra_gauges={"queue.max_depth": 256.0})
+    samples, families = parse_prometheus(text)
+    by_key = {(s.name, tuple(sorted(s.labels.items()))): s.value
+              for s in samples}
+
+    assert by_key[("repro_requests_admitted_total", ())] == 7
+    assert by_key[("repro_solve_rejected_total",
+                   (("reason", "queue_full"),))] == 2
+    assert by_key[("repro_queue_depth", ())] == 3.0
+    assert by_key[("repro_queue_max_depth", ())] == 256.0
+    assert by_key[("repro_solve_latency_ms_count", ())] == 4
+    assert by_key[("repro_solve_latency_ms_sum", ())] == 10.0
+    assert by_key[("repro_solve_latency_ms",
+                   (("quantile", "0.5"),))] == pytest.approx(2.5)
+    assert families["repro_requests_admitted_total"] == "counter"
+    assert families["repro_queue_depth"] == "gauge"
+    assert families["repro_solve_latency_ms"] == "summary"
+
+
+def test_prometheus_parser_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus("this is not a metric line at all {{{\n")
+
+
+def test_prometheus_sanitizes_metric_names():
+    registry = MetricsRegistry()
+    registry.counter("solve.phase-total@weird").add(1)
+    text = render_prometheus(registry)
+    samples, _ = parse_prometheus(text)
+    assert samples[0].name == "repro_solve_phase_total_weird_total"
+
+
+def test_prometheus_empty_histogram_omits_nan_quantiles():
+    registry = MetricsRegistry()
+    registry.histogram("latency_ms")  # created, never observed
+    text = render_prometheus(registry)
+    assert "NaN" not in text
+    samples, _ = parse_prometheus(text)
+    names = {s.name for s in samples}
+    assert "repro_latency_ms_count" in names
+    assert not any(s.labels.get("quantile") for s in samples)
+
+
+def test_prometheus_one_type_line_per_family():
+    registry = MetricsRegistry()
+    registry.counter("c", a="1").add(1)
+    registry.counter("c", a="2").add(1)
+    text = render_prometheus(registry)
+    assert text.count("# TYPE repro_c_total counter") == 1
+
+
+def test_prometheus_label_values_escaped():
+    registry = MetricsRegistry()
+    registry.counter("c", path='a\\b"c\nd').add(1)
+    samples, _ = parse_prometheus(render_prometheus(registry))
+    assert samples[0].labels["path"] == 'a\\b"c\nd'

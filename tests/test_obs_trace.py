@@ -1,0 +1,208 @@
+"""Span tracer unit tests: nesting, ids, exports, and the null tracer."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    use_trace_id,
+)
+
+
+def test_span_nesting_builds_parent_child_links():
+    tracer = Tracer()
+    with tracer.span("request") as root:
+        with tracer.span("policy") as child:
+            with tracer.span("build") as grandchild:
+                pass
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    assert root.parent_id is None
+    assert {s.trace_id for s in (root, child, grandchild)} == {root.trace_id}
+    # recorded innermost-first (a span is recorded when it closes)
+    assert [s.name for s in tracer.spans()] == ["build", "policy", "request"]
+    assert all(s.end is not None and s.end >= s.start for s in tracer.spans())
+
+
+def test_current_span_tracks_context():
+    tracer = Tracer()
+    assert current_span() is None
+    with tracer.span("outer") as outer:
+        assert current_span() is outer
+        with tracer.span("inner") as inner:
+            assert current_span() is inner
+        assert current_span() is outer
+    assert current_span() is None
+
+
+def test_trace_id_resolution_order():
+    tracer = Tracer()
+    # explicit id wins
+    explicit = tracer.begin("a", trace_id="explicit")
+    tracer.end(explicit)
+    assert explicit.trace_id == "explicit"
+    # parent's id inherited
+    child = tracer.begin("b", parent=explicit)
+    tracer.end(child)
+    assert child.trace_id == "explicit"
+    # ambient pin
+    with use_trace_id("pinned"):
+        assert current_trace_id() == "pinned"
+        ambient = tracer.begin("c")
+        tracer.end(ambient)
+    assert ambient.trace_id == "pinned"
+    assert current_trace_id() is None
+    # otherwise fresh (32-hex)
+    fresh = tracer.begin("d")
+    tracer.end(fresh)
+    assert len(fresh.trace_id) == 32
+
+
+def test_use_trace_id_none_is_a_no_op_pin():
+    with use_trace_id(None):
+        assert current_trace_id() is None
+
+
+def test_current_trace_id_inherits_from_open_span():
+    tracer = Tracer()
+    with tracer.span("outer", trace_id="from-span"):
+        assert current_trace_id() == "from-span"
+
+
+def test_span_at_records_retroactive_interval():
+    tracer = Tracer()
+    root = tracer.begin("request")
+    waited = tracer.span_at("queue.wait", 10.0, 10.5, parent=root, job_id=7)
+    tracer.end(root)
+    assert waited.parent_id == root.span_id
+    assert waited.trace_id == root.trace_id
+    assert waited.duration_s == 0.5
+    assert waited.attributes["job_id"] == 7
+
+
+def test_spans_filter_by_trace_id():
+    tracer = Tracer()
+    with tracer.span("a", trace_id="t1"):
+        pass
+    with tracer.span("b", trace_id="t2"):
+        pass
+    assert [s.name for s in tracer.spans(trace_id="t1")] == ["a"]
+
+
+def test_max_spans_bounds_the_buffer():
+    tracer = Tracer(max_spans=3)
+    for index in range(10):
+        with tracer.span(f"s{index}"):
+            pass
+    assert [s.name for s in tracer.spans()] == ["s7", "s8", "s9"]
+
+
+def test_jsonl_stream_is_line_delimited_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(jsonl_path=path) as tracer:
+        with tracer.span("request", solver="cg"):
+            with tracer.span("solve"):
+                pass
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [line["name"] for line in lines] == ["solve", "request"]
+    assert lines[1]["attributes"] == {"solver": "cg"}
+    assert lines[0]["parent_id"] == lines[1]["span_id"]
+    # wall-clock anchored: start/end are epoch seconds, not perf-counter
+    assert lines[0]["start_s"] > 1e9
+
+
+def test_export_jsonl_and_chrome_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("request"):
+        with tracer.span("solve", phase="matvec"):
+            pass
+    jsonl_path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+    assert len(jsonl_path.read_text().splitlines()) == 2
+
+    chrome_path = tracer.export_chrome(tmp_path / "trace.json")
+    chrome = json.loads(chrome_path.read_text())
+    events = chrome["traceEvents"]
+    assert len(events) == 2
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["dur"] >= 0
+        assert {"name", "ts", "pid", "tid", "args"} <= set(event)
+    solve_event = next(e for e in events if e["name"] == "solve")
+    request_event = next(e for e in events if e["name"] == "request")
+    assert solve_event["args"]["phase"] == "matvec"
+    assert solve_event["args"]["parent_id"] == request_event["args"]["span_id"]
+
+
+def test_tracer_is_thread_safe():
+    tracer = Tracer()
+
+    def worker(index: int) -> None:
+        for _ in range(50):
+            with tracer.span(f"w{index}"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(tracer.spans()) == 8 * 50
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    assert NULL_TRACER.enabled is False
+    with tracer.span("anything", solver="cg") as span:
+        assert span is NULL_SPAN
+        span.set_attribute("k", "v")  # discarded, never raises
+    assert tracer.begin("x") is NULL_SPAN
+    assert tracer.span_at("y", 0.0, 1.0) is NULL_SPAN
+    tracer.end(NULL_SPAN, outcome="ok")
+    assert tracer.spans() == []
+    assert NULL_SPAN.attributes == {}
+
+
+def test_null_tracer_shares_one_context_manager():
+    # zero-cost requirement: no allocation per span() call when disabled
+    tracer = NullTracer()
+    assert tracer.span("a") is tracer.span("b")
+
+
+def test_real_tracer_ignores_null_span_parent():
+    tracer = Tracer()
+    span = tracer.begin("child", parent=NULL_SPAN)
+    tracer.end(span)
+    assert span.parent_id is None
+
+
+def test_new_trace_id_is_unique_hex():
+    ids = {new_trace_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(len(t) == 32 and int(t, 16) >= 0 for t in ids)
+
+
+def test_open_span_excluded_from_chrome_export():
+    tracer = Tracer()
+    tracer.begin("never-ended")  # not recorded at all until end()
+    with tracer.span("done"):
+        pass
+    names = [e["name"] for e in tracer.chrome_trace_events()["traceEvents"]]
+    assert names == ["done"]
+
+
+def test_span_to_json_dict_maps_monotonic_to_wall_clock():
+    span = Span("s", trace_id="t", parent_id=None, start=5.0)
+    span.end = 7.0
+    rendered = span.to_json_dict(t0_wall=1000.0, t0_perf=4.0)
+    assert rendered["start_s"] == 1001.0
+    assert rendered["end_s"] == 1003.0
+    assert rendered["duration_s"] == 2.0
