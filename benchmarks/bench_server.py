@@ -24,6 +24,15 @@ Three scenarios, each asserting correctness alongside its timing gate:
   every column still meets the requested tolerance.  This scenario is
   additionally written to ``BENCH_BLOCK_JSON`` (default
   ``bench_block_vs_loop.json``) for its own CI artifact.
+* **Fleet router** — 8 distinct matrices solved by 4 concurrent clients
+  through a :class:`~repro.fleet.router.FleetRouter` fronting two
+  replicas, versus the same stream against a single server: asserts the
+  routed solutions are bit-identical, that consistent-hash sharding keeps
+  the warm-phase artifact-cache hit rate at >= 90 % (every matrix sticks
+  to the replica that built its preconditioner), and reports throughput
+  plus client-observed p50/p95/p99 latency.  Written to
+  ``BENCH_FLEET_JSON`` (default ``bench_fleet.json``) for its own CI
+  artifact.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_server.py``) or
 through pytest.  When run directly the measured numbers are written as JSON
@@ -271,6 +280,128 @@ def bench_block_vs_loop(k: int = 8) -> dict:
     }
 
 
+def bench_fleet_router(matrices_count: int = 8, clients: int = 4) -> dict:
+    """8 matrices x 4 concurrent clients: router-with-2-replicas vs single.
+
+    A warm-up pass builds every preconditioner once; the measured phase
+    then streams ``clients`` threads each solving every matrix with its own
+    right-hand side.  Because the router shards by matrix fingerprint, each
+    warm request lands on the replica whose cache holds its preconditioner
+    — the measured cache hit rate (delta over the warm phase, aggregated
+    across replicas from the router's ``/v1/metrics``) must stay >= 90 %.
+    The identical stream against one server gives the baseline numbers and
+    the bit-identity reference.
+    """
+    import threading
+
+    from repro.fleet import FleetRouter, InProcessReplica, ReplicaFleet
+
+    matrices = [random_sparse(600, 0.005, seed=20 + index, diag_boost=4.0)
+                for index in range(matrices_count)]
+
+    def stream_for(client_index: int) -> list[SolveRequest]:
+        return [SolveRequest(
+            matrix=matrix,
+            rhs=np.random.default_rng(1000 * client_index + index)
+                .standard_normal(matrix.shape[0]),
+            maxiter=400, tag=f"c{client_index}.m{index}")
+            for index, matrix in enumerate(matrices)]
+
+    def run_clients(url: str) -> tuple[list, list[float], float]:
+        responses: list = [None] * (clients * matrices_count)
+        latencies: list[float] = [0.0] * (clients * matrices_count)
+
+        def one_client(client_index: int) -> None:
+            client = HTTPClient(url, timeout=300.0)
+            for index, request in enumerate(stream_for(client_index)):
+                slot = client_index * matrices_count + index
+                start = time.perf_counter()
+                responses[slot] = client.solve(request)
+                latencies[slot] = (time.perf_counter() - start) * 1e3
+
+        workers = [threading.Thread(target=one_client, args=(c,))
+                   for c in range(clients)]
+        start = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        return responses, latencies, time.perf_counter() - start
+
+    def warm(url: str) -> None:
+        client = HTTPClient(url, timeout=300.0)
+        for index, matrix in enumerate(matrices):
+            client.solve(SolveRequest(matrix=matrix,
+                                      rhs=np.ones(matrix.shape[0]),
+                                      maxiter=400, tag=f"warm{index}"))
+
+    def cache_totals(snapshot) -> tuple[int, int]:
+        hits = sum(stats.get("hits", 0)
+                   for stats in snapshot.artifact_cache.values())
+        misses = sum(stats.get("misses", 0)
+                     for stats in snapshot.artifact_cache.values())
+        return hits, misses
+
+    # -- single server baseline ----------------------------------------------
+    with SolveHTTPServer(port=0, cache=ArtifactCache(max_entries=32)) \
+            as single:
+        warm(single.url)
+        single_responses, single_latencies, single_wall = \
+            run_clients(single.url)
+
+    # -- fleet: 2 replicas behind the router ---------------------------------
+    fleet = ReplicaFleet([InProcessReplica(f"replica-{i}") for i in range(2)],
+                         health_interval=30.0)
+    fleet.start()
+    router = FleetRouter(fleet).start()
+    try:
+        metrics_client = HTTPClient(router.url)
+        warm(router.url)
+        warm_hits, warm_misses = cache_totals(metrics_client.metrics())
+        fleet_responses, fleet_latencies, fleet_wall = \
+            run_clients(router.url)
+        snapshot = metrics_client.metrics()
+        total_hits, total_misses = cache_totals(snapshot)
+    finally:
+        router.shutdown()
+        fleet.drain()
+
+    total = clients * matrices_count
+    assert all(response is not None and response.converged
+               for response in fleet_responses)
+    for ours, theirs in zip(fleet_responses, single_responses):
+        assert np.array_equal(ours.solution, theirs.solution), \
+            "routed serving changed the arithmetic"
+
+    measured_hits = total_hits - warm_hits
+    measured_misses = total_misses - warm_misses
+    hit_rate = measured_hits / max(measured_hits + measured_misses, 1)
+    locality_hits = snapshot.counters.get(
+        'fleet.shard_locality{hit="true"}', 0)
+    locality_misses = snapshot.counters.get(
+        'fleet.shard_locality{hit="false"}', 0)
+    quantile = lambda values, q: float(np.quantile(np.asarray(values), q))  # noqa: E731
+    return {
+        "matrices": matrices_count,
+        "clients": clients,
+        "requests": total,
+        "replicas": 2,
+        "fleet_wall_s": fleet_wall,
+        "fleet_throughput_rps": total / fleet_wall,
+        "single_wall_s": single_wall,
+        "single_throughput_rps": total / single_wall,
+        "cache_hit_rate": hit_rate,
+        "shard_locality_rate": locality_hits / max(
+            locality_hits + locality_misses, 1),
+        "fleet_latency_ms_p50": quantile(fleet_latencies, 0.50),
+        "fleet_latency_ms_p95": quantile(fleet_latencies, 0.95),
+        "fleet_latency_ms_p99": quantile(fleet_latencies, 0.99),
+        "single_latency_ms_p50": quantile(single_latencies, 0.50),
+        "single_latency_ms_p95": quantile(single_latencies, 0.95),
+        "single_latency_ms_p99": quantile(single_latencies, 0.99),
+    }
+
+
 def test_policy_warm_cache_speedup():
     """Warm repeat of a request must beat the cold build decisively."""
     result = bench_policy_cold_vs_warm()
@@ -327,6 +458,22 @@ def test_transport_overhead_keeps_results_identical():
     assert result["http_ms_per_request"] > 0
 
 
+def test_fleet_router_keeps_shards_hot():
+    """The fleet acceptance gate: routed solves bit-identical to a single
+    server (asserted inside the bench) with a >= 90 % warm-phase cache hit
+    rate from fingerprint sharding, and sane latency quantiles."""
+    result = bench_fleet_router(matrices_count=4, clients=2)
+    print(f"\nfleet: {result['requests']} requests, cache hit rate "
+          f"{result['cache_hit_rate']:.1%}, shard locality "
+          f"{result['shard_locality_rate']:.1%}, p95 "
+          f"{result['fleet_latency_ms_p95']:.1f} ms")
+    assert result["cache_hit_rate"] >= 0.9, (
+        f"sharded serving only hit the cache {result['cache_hit_rate']:.1%} "
+        "of the time — routing is not cache-aligned")
+    assert (result["fleet_latency_ms_p99"] >= result["fleet_latency_ms_p95"]
+            >= result["fleet_latency_ms_p50"] > 0)
+
+
 def main() -> None:
     results = {
         "throughput": bench_throughput(),
@@ -334,6 +481,7 @@ def main() -> None:
         "shared_fingerprint_batching": bench_shared_fingerprint_batching(),
         "transport_overhead": bench_transport_overhead(),
         "block_vs_loop": bench_block_vs_loop(),
+        "fleet_router": bench_fleet_router(),
     }
     for name, metrics in results.items():
         print(f"{name}: {json.dumps(metrics, indent=2)}")
@@ -345,6 +493,13 @@ def main() -> None:
     with open(block_path, "w", encoding="utf-8") as handle:
         json.dump(results["block_vs_loop"], handle, indent=2)
     print(f"wrote {block_path}")
+    fleet_path = os.environ.get("BENCH_FLEET_JSON", "bench_fleet.json")
+    with open(fleet_path, "w", encoding="utf-8") as handle:
+        json.dump(results["fleet_router"], handle, indent=2)
+    print(f"wrote {fleet_path}")
+    assert results["fleet_router"]["cache_hit_rate"] >= 0.9, (
+        f"fleet cache hit rate {results['fleet_router']['cache_hit_rate']:.1%}"
+        " < required 90%")
     assert results["policy_cold_vs_warm"]["speedup"] >= REQUIRED_SPEEDUP, (
         f"policy warm path only {results['policy_cold_vs_warm']['speedup']:.1f}x "
         f"< required {REQUIRED_SPEEDUP}x")

@@ -3,8 +3,9 @@
 Plain ``setup.py`` (no ``pyproject.toml``) so that ``pip install -e .`` works
 in offline environments where the ``wheel`` package (required for PEP 660
 editable installs) is unavailable and pip falls back to the legacy
-``setup.py develop`` code path.  Installs the ``repro-serve`` console script
-(see :mod:`repro.server.cli`).
+``setup.py develop`` code path.  Installs the ``repro-serve`` and
+``repro-fleet`` console scripts (see :mod:`repro.server.cli` and
+:mod:`repro.fleet.cli`).
 """
 
 import os
@@ -34,6 +35,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.server.cli:main",
+            "repro-fleet=repro.fleet.cli:main",
         ],
     },
 )

@@ -32,6 +32,7 @@ from repro.api.errors import (
     ERROR_CODES,
     ERROR_INTERNAL,
     ERROR_NOT_FOUND,
+    ERROR_UNAVAILABLE,
     ERROR_UNSUPPORTED_VERSION,
     HTTP_STATUS_BY_CODE,
     REJECT_CLOSED,
@@ -72,6 +73,7 @@ __all__ = [
     "ERROR_CODES",
     "ERROR_INTERNAL",
     "ERROR_NOT_FOUND",
+    "ERROR_UNAVAILABLE",
     "ERROR_UNSUPPORTED_VERSION",
     "HTTP_STATUS_BY_CODE",
     "REJECT_CLOSED",

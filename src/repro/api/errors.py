@@ -36,6 +36,7 @@ __all__ = [
     "ERROR_BAD_REQUEST",
     "ERROR_UNSUPPORTED_VERSION",
     "ERROR_NOT_FOUND",
+    "ERROR_UNAVAILABLE",
     "ERROR_INTERNAL",
 ]
 
@@ -46,17 +47,23 @@ REJECT_CLOSED = "closed"
 REJECT_DRAINING = "draining"
 REJECT_INVALID = "invalid"
 
-#: Transport-level failure codes.
+#: Transport-level failure codes.  ``unavailable`` is the reachability
+#: failure class: the target (a replica, or every live replica of a shard)
+#: cannot be reached at all — connection refused/reset, a timed-out
+#: exchange, or a fleet shard with no live replica behind it.  It maps to
+#: 503 like drain/close: the request itself was fine, retry later or
+#: elsewhere.
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_UNSUPPORTED_VERSION = "unsupported_version"
 ERROR_NOT_FOUND = "not_found"
+ERROR_UNAVAILABLE = "unavailable"
 ERROR_INTERNAL = "internal"
 
 #: Every code an :class:`ErrorEnvelope` may carry.
 ERROR_CODES: tuple[str, ...] = (
     REJECT_INVALID, REJECT_QUEUE_FULL, REJECT_DRAINING, REJECT_CLOSED,
     ERROR_BAD_REQUEST, ERROR_UNSUPPORTED_VERSION, ERROR_NOT_FOUND,
-    ERROR_INTERNAL,
+    ERROR_UNAVAILABLE, ERROR_INTERNAL,
 )
 
 #: HTTP status an envelope of each code travels under.  Backpressure maps to
@@ -70,6 +77,7 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     REJECT_QUEUE_FULL: 429,
     REJECT_DRAINING: 503,
     REJECT_CLOSED: 503,
+    ERROR_UNAVAILABLE: 503,
     ERROR_INTERNAL: 500,
 }
 

@@ -1,21 +1,35 @@
 """HTTP implementation of the :class:`~repro.client.base.Client` ABC.
 
-Speaks the versioned wire protocol of :mod:`repro.api` over plain
-``urllib.request`` — no new dependencies — against the endpoints served by
-:class:`repro.server.http.SolveHTTPServer`.  Error envelopes returned by the
-server are re-raised as the same exceptions an in-process caller would see
+Speaks the versioned wire protocol of :mod:`repro.api` over stdlib
+``http.client`` — no new dependencies — against the endpoints served by
+:class:`repro.server.http.SolveHTTPServer` (or the fleet router, which
+exposes the same schema).  Error envelopes returned by the server are
+re-raised as the same exceptions an in-process caller would see
 (:class:`~repro.api.errors.AdmissionError` for admission rejections,
 :class:`~repro.api.errors.RemoteSolveError` otherwise), so a caller's
 ``except`` clauses are transport-blind too.
+
+Reachability is part of the contract: the client separates the *connect*
+timeout (how long to wait for the server to accept) from the *read* timeout
+(how long to wait for an answer — a synchronous solve holds the response
+until the solve finishes), retries exactly once on connection-refused (the
+server may be mid-restart; nothing was sent, so the retry is safe for any
+method), and surfaces every connection-level failure as a typed
+:class:`~repro.api.errors.RemoteSolveError` whose envelope carries the
+``unavailable`` code, the target address and a ``kind`` of ``"connection"``
+or ``"timeout"`` — a hung replica can no longer hang the caller forever.
+The fleet router keys its failover decision on exactly this surface.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import time
+from typing import NamedTuple
+from urllib.parse import urlsplit
 
-from repro.api.errors import ErrorEnvelope, SchemaError
+from repro.api.errors import ERROR_UNAVAILABLE, ErrorEnvelope, SchemaError
 from repro.api.schemas import (
     JobStatusV1,
     SolveRequestV1,
@@ -23,18 +37,31 @@ from repro.api.schemas import (
     TelemetrySnapshot,
 )
 from repro.client.base import Client
+from repro.exceptions import ParameterError
 from repro.obs.trace import current_trace_id
 
-__all__ = ["HTTPClient"]
+__all__ = ["HTTPClient", "RawReply"]
 
 #: Mirror of :data:`repro.server.http.TRACE_HEADER` — repeated here so the
 #: client stays a pure wire-protocol speaker with no server-package import
 #: (equality is asserted in ``tests/test_server_tracing.py``).
 TRACE_HEADER = "X-Repro-Trace-Id"
 
+#: Pause before the single connection-refused retry, giving a restarting
+#: server a beat to bind without turning the retry into a spin.
+RETRY_BACKOFF_S = 0.05
+
+
+class RawReply(NamedTuple):
+    """One raw HTTP exchange: status, lower-cased headers, body bytes."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
 
 class HTTPClient(Client):
-    """Talk to a solve server over HTTP/JSON.
+    """Talk to a solve server (or fleet router) over HTTP/JSON.
 
     Parameters
     ----------
@@ -42,15 +69,112 @@ class HTTPClient(Client):
         The server's base URL, e.g. ``"http://127.0.0.1:8080"`` (a trailing
         slash is tolerated).
     timeout:
-        Per-request socket timeout in seconds.  Synchronous ``/v1/solve``
-        calls wait for the full solve, so this also bounds solve time.
+        *Read* timeout in seconds: how long to wait for the response once
+        connected.  Synchronous ``/v1/solve`` calls hold the response until
+        the solve finishes, so this also bounds solve time.
+    connect_timeout:
+        How long to wait for the server to accept the connection.  Kept
+        separate from ``timeout`` so an unreachable server fails fast even
+        when long solves are allowed.
+    connect_retries:
+        Bounded retry budget for *connection-refused* failures only (the
+        request was never sent, so a retry cannot double-execute anything).
+        ``1`` (the default) retries once after :data:`RETRY_BACKOFF_S`;
+        ``0`` fails immediately — the fleet router uses ``0`` and handles
+        failover itself through the ring.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float = 300.0,
+                 connect_timeout: float = 10.0,
+                 connect_retries: int = 1) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.connect_timeout = float(connect_timeout)
+        if connect_retries < 0:
+            raise ParameterError(
+                f"connect_retries must be >= 0, got {connect_retries}")
+        self.connect_retries = int(connect_retries)
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https") or parts.hostname is None:
+            raise ParameterError(
+                f"base_url must be an http(s) URL with a host, "
+                f"got {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port or (443 if parts.scheme == "https" else 80)
+        self._path_prefix = parts.path.rstrip("/")
+
+    # -- reachability failures ----------------------------------------------
+    def _unavailable(self, kind: str, error: BaseException) -> "RemoteSolveError":
+        from repro.api.errors import RemoteSolveError
+
+        return RemoteSolveError(ErrorEnvelope(
+            code=ERROR_UNAVAILABLE,
+            message=f"{self.base_url} unreachable: {error} "
+                    f"({type(error).__name__})",
+            detail={"url": self.base_url, "kind": kind,
+                    "error": type(error).__name__}))
 
     # -- one exchange --------------------------------------------------------
+    def _one_exchange(self, method: str, path: str, body: bytes | None,
+                      headers: dict[str, str]) -> RawReply:
+        connection_cls = (http.client.HTTPSConnection
+                          if self._scheme == "https"
+                          else http.client.HTTPConnection)
+        connection = connection_cls(self._host, self._port,
+                                    timeout=self.connect_timeout)
+        try:
+            connection.connect()
+            if connection.sock is not None:
+                # Connected: further socket waits are governed by the read
+                # timeout (a sync solve legitimately takes a while).
+                connection.sock.settimeout(self.timeout)
+            connection.request(method, self._path_prefix + path,
+                               body=body, headers=headers)
+            reply = connection.getresponse()
+            data = reply.read()
+            return RawReply(reply.status,
+                            {key.lower(): value
+                             for key, value in reply.getheaders()},
+                            data)
+        finally:
+            connection.close()
+
+    def exchange_raw(self, method: str, path: str, *,
+                     body: bytes | None = None,
+                     headers: dict[str, str] | None = None) -> RawReply:
+        """One raw HTTP exchange with the reachability contract applied.
+
+        Returns the reply whatever its status (callers map error envelopes
+        themselves — the fleet router proxies 4xx/5xx bodies verbatim).
+        Raises :class:`~repro.api.errors.RemoteSolveError` with the
+        ``unavailable`` envelope when the server cannot be reached at all:
+        connection refused (after the bounded retry), connection reset /
+        dropped mid-exchange (``kind="connection"``), or a connect/read
+        timeout (``kind="timeout"``).
+        """
+        headers = dict(headers or {})
+        attempts = self.connect_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._one_exchange(method, path, body, headers)
+            except ConnectionRefusedError as error:
+                if attempt + 1 < attempts:
+                    time.sleep(RETRY_BACKOFF_S)
+                    continue
+                raise self._unavailable("connection", error) from error
+            except TimeoutError as error:
+                raise self._unavailable("timeout", error) from error
+            except (ConnectionError, http.client.HTTPException) as error:
+                # Reset / remote-disconnected / garbled status line: the
+                # server died mid-exchange.  Not retried here — whether a
+                # re-send is safe is the caller's call (the router only
+                # retries idempotent requests, against another replica).
+                raise self._unavailable("connection", error) from error
+            except OSError as error:
+                raise self._unavailable("connection", error) from error
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _exchange_bytes(self, method: str, path: str,
                         payload: dict | None = None) -> bytes:
         headers = {"Content-Type": "application/json"}
@@ -59,25 +183,19 @@ class HTTPClient(Client):
         trace_id = current_trace_id()
         if trace_id is not None:
             headers[TRACE_HEADER] = trace_id
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=(None if payload is None
-                  else json.dumps(payload).encode("utf-8")),
-            headers=headers,
-            method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return reply.read()
-        except urllib.error.HTTPError as error:
-            body = error.read()
+        body = (None if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        reply = self.exchange_raw(method, path, body=body, headers=headers)
+        if reply.status >= 400:
             try:
                 envelope = ErrorEnvelope.from_json_dict(
-                    json.loads(body.decode("utf-8")))
+                    json.loads(reply.body.decode("utf-8")))
             except Exception:
                 raise SchemaError(
-                    f"server answered HTTP {error.code} without a parseable "
-                    f"error envelope: {body[:200]!r}")
+                    f"server answered HTTP {reply.status} without a "
+                    f"parseable error envelope: {reply.body[:200]!r}")
             envelope.raise_()
+        return reply.body
 
     def _exchange(self, method: str, path: str, payload: dict | None = None
                   ) -> dict:
@@ -119,4 +237,4 @@ class HTTPClient(Client):
         return self._exchange("GET", "/v1/healthz")
 
     def close(self) -> None:
-        """Nothing to release: exchanges are one-shot urllib requests."""
+        """Nothing to release: exchanges are one-shot HTTP requests."""

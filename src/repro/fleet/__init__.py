@@ -1,0 +1,35 @@
+"""Multi-replica serving: consistent-hash sharding with health-aware failover.
+
+The single-process :class:`~repro.server.http.SolveHTTPServer` tops out at
+one :class:`~repro.service.cache.ArtifactCache`, one queue and one GIL.  This
+package turns it into a *fleet*:
+
+* :mod:`repro.fleet.ring` — a deterministic consistent-hash ring (virtual
+  nodes) keyed on the matrix content fingerprint, so routing identity ==
+  batching identity == cache identity: every request for the same matrix
+  lands on the same replica, whose cache stays hot for its shard.
+* :mod:`repro.fleet.replica` — replica lifecycle: subprocess-managed
+  ``repro-serve --http`` workers on ephemeral ports
+  (:class:`~repro.fleet.replica.SubprocessReplica`), in-process replicas for
+  tests and benchmarks (:class:`~repro.fleet.replica.InProcessReplica`), and
+  the health-probing :class:`~repro.fleet.replica.ReplicaFleet` with
+  exponential-backoff restart and graceful drain.
+* :mod:`repro.fleet.router` — the HTTP front
+  (:class:`~repro.fleet.router.FleetRouter`): same ``/v1/*`` wire schema,
+  fingerprint-sharded routing, one failover retry against the remapped ring
+  when a replica dies mid-request, typed 503 degradation when a shard has no
+  live replica, and fleet-wide metrics aggregation with a ``replica`` label.
+* :mod:`repro.fleet.cli` — the ``repro-fleet`` console script.
+"""
+
+from repro.fleet.replica import InProcessReplica, ReplicaFleet, SubprocessReplica
+from repro.fleet.ring import HashRing
+from repro.fleet.router import FleetRouter
+
+__all__ = [
+    "HashRing",
+    "SubprocessReplica",
+    "InProcessReplica",
+    "ReplicaFleet",
+    "FleetRouter",
+]

@@ -1,0 +1,147 @@
+"""Deterministic consistent-hash ring with virtual nodes.
+
+The fleet router shards requests across replicas by the same
+:func:`~repro.sparse.fingerprint.matrix_fingerprint` the scheduler batches by
+and the artifact cache keys on — routing identity == batching identity ==
+cache identity.  The ring makes that sharding *stable*:
+
+* **Deterministic** — placement is derived purely from member names via the
+  seeded :func:`~repro.sparse.fingerprint.content_hash`, so two routers (or
+  one router across restarts) route identically with no coordination.
+* **Consistent** — removing a member only remaps the keys that member owned
+  (each to the next live member clockwise); every other key keeps its owner.
+  This is the property that keeps replica caches hot through a failover:
+  the dead replica's shard moves, nobody else's does (property-tested in
+  ``tests/test_fleet_ring.py``).
+* **Balanced** — each member is placed at :data:`DEFAULT_VNODES` virtual
+  positions, smoothing the shard sizes without any load measurements.
+
+The ring is thread-safe: the router's worker threads route concurrently
+while the health monitor marks members dead or alive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterable, Iterator
+
+from repro.exceptions import ParameterError
+from repro.sparse.fingerprint import content_hash
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per member.  128 positions keep the largest/smallest shard
+#: within a few tens of percent of each other for small fleets while the
+#: ring stays tiny (a few KiB per member).
+DEFAULT_VNODES = 128
+
+
+def _position(token: str) -> int:
+    """Ring position of a token: its 128-bit content hash as an integer."""
+    return int(content_hash(token), 16)
+
+
+class HashRing:
+    """Consistent-hash ring over named members.
+
+    Parameters
+    ----------
+    members:
+        Initial member names (e.g. ``["replica-0", "replica-1"]``).  Order
+        does not matter: placement depends only on the names themselves.
+    vnodes:
+        Virtual positions per member.
+    """
+
+    def __init__(self, members: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ParameterError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        self._members: set[str] = set()
+        for member in members:
+            self.add(member)
+
+    # -- membership ----------------------------------------------------------
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Current members, sorted by name."""
+        with self._lock:
+            return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    def __contains__(self, member: object) -> bool:
+        with self._lock:
+            return member in self._members
+
+    def add(self, member: str) -> None:
+        """Insert ``member`` at its :attr:`vnodes` deterministic positions."""
+        member = str(member)
+        if not member:
+            raise ParameterError("ring member name must be non-empty")
+        with self._lock:
+            if member in self._members:
+                return
+            self._members.add(member)
+            for index in range(self._vnodes):
+                position = _position(f"vnode:{member}:{index}")
+                at = bisect.bisect_left(self._positions, position)
+                self._positions.insert(at, position)
+                self._owners.insert(at, member)
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``; only its keys remap (to their next owner)."""
+        with self._lock:
+            if member not in self._members:
+                return
+            self._members.discard(member)
+            keep = [i for i, owner in enumerate(self._owners)
+                    if owner != member]
+            self._positions = [self._positions[i] for i in keep]
+            self._owners = [self._owners[i] for i in keep]
+
+    # -- routing -------------------------------------------------------------
+    def route(self, key: str, *, exclude: Iterable[str] = ()) -> str | None:
+        """The member owning ``key``: first vnode clockwise from its hash.
+
+        ``exclude`` skips members (e.g. replicas currently considered dead)
+        *without* mutating the ring — the assignment is identical to what
+        :meth:`remove` of those members would produce, so a temporary
+        exclusion and a permanent removal route the same way.  Returns
+        ``None`` when no eligible member remains.
+        """
+        for member in self.preference(key):
+            if member not in exclude:
+                return member
+        return None
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Distinct members in ring order starting at ``key``'s position.
+
+        The first yielded member is the key's owner; each subsequent one is
+        the owner the key would remap to if every earlier one died — the
+        router's failover order.
+        """
+        with self._lock:
+            owners = list(self._owners)
+            positions = list(self._positions)
+        if not owners:
+            return
+        start = bisect.bisect_right(positions, _position(f"key:{key}"))
+        seen: set[str] = set()
+        for offset in range(len(owners)):
+            owner = owners[(start + offset) % len(owners)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+    def shard_table(self, keys: Iterable[str]) -> dict[str, str | None]:
+        """Owner of every key in ``keys`` (diagnostics / tests)."""
+        return {key: self.route(key) for key in keys}

@@ -18,7 +18,8 @@ from __future__ import annotations
 import math
 import re
 
-__all__ = ["render_prometheus", "parse_prometheus", "PrometheusSample"]
+__all__ = ["render_prometheus", "parse_prometheus", "merge_expositions",
+           "PrometheusSample"]
 
 _INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -124,6 +125,64 @@ def render_prometheus(registry, *, namespace: str = "repro",
             lines.append(_sample_line(
                 f"{full}_count", histogram.labels, summary["count"]))
 
+    return "\n".join(lines) + "\n"
+
+
+def _family_of(name: str, types: dict[str, str]) -> str:
+    """The family a sample line belongs to (summaries emit ``_sum``/``_count``
+    samples under their base family's ``# TYPE`` line)."""
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def merge_expositions(base: str, labeled: dict[str, str], *,
+                      label: str = "replica") -> str:
+    """Merge several text expositions into one labeled scrape.
+
+    The fleet router's ``/v1/metrics?format=prometheus`` endpoint fetches
+    each replica's exposition and merges it with the router's own: every
+    sample from ``labeled[source]`` gains ``{label="source"}`` (overriding a
+    pre-existing label of the same name), families of the same metric are
+    grouped under a *single* ``# TYPE`` line (the spec forbids repeating a
+    family), and the ``base`` text's samples pass through unlabeled.  The
+    result round-trips :func:`parse_prometheus`.
+    """
+    family_types: dict[str, str] = {}
+    family_order: list[str] = []
+    samples_by_family: dict[str, list[tuple[str, dict[str, str], float]]] = {}
+
+    def ingest(text: str, source: str | None) -> None:
+        samples, types = parse_prometheus(text)
+        for family, family_type in types.items():
+            if family not in family_types:
+                family_types[family] = family_type
+                family_order.append(family)
+        for sample in samples:
+            labels = dict(sample.labels)
+            if source is not None:
+                labels[label] = source
+            samples_by_family.setdefault(
+                _family_of(sample.name, types), []).append(
+                    (sample.name, labels, sample.value))
+
+    ingest(base, None)
+    for source in sorted(labeled):
+        ingest(labeled[source], source)
+
+    lines: list[str] = []
+    for family in family_order:
+        lines.append(f"# TYPE {family} {family_types[family]}")
+        for name, labels, value in samples_by_family.pop(family, []):
+            lines.append(_sample_line(name, labels, value))
+    # Samples whose family never had a TYPE line (none of our own renderers
+    # produce these, but a replica's exposition may) pass through untyped.
+    for entries in samples_by_family.values():
+        for name, labels, value in entries:
+            lines.append(_sample_line(name, labels, value))
     return "\n".join(lines) + "\n"
 
 

@@ -57,7 +57,7 @@ from repro.server.queue import Job, job_status
 from repro.server.server import SolveServer
 from repro.version import __version__
 
-__all__ = ["SolveHTTPServer", "TRACE_HEADER"]
+__all__ = ["SolveHTTPServer", "WireHandler", "TRACE_HEADER"]
 
 _LOG = get_logger("server.http")
 
@@ -74,15 +74,28 @@ TRACE_HEADER = "X-Repro-Trace-Id"
 MAX_TRACE_ID_CHARS = 128
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes one HTTP exchange onto the owning :class:`SolveHTTPServer`."""
+class WireHandler(BaseHTTPRequestHandler):
+    """Transport plumbing shared by every ``/v1/*`` JSON wire handler.
+
+    Owns the parts of speaking the wire protocol that are independent of
+    *what* is being served: JSON/text responses with correct framing, typed
+    :class:`~repro.api.errors.ErrorEnvelope` answers, bounded body reading,
+    keep-alive-safe body draining, trace-header extraction and the
+    exception-to-envelope dispatch.  :class:`SolveHTTPServer`'s handler and
+    the fleet router's front end (:mod:`repro.fleet.router`) both subclass
+    this, so the two wire surfaces cannot drift apart.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = f"repro-serve/{__version__}"
 
+    #: Logger of the concrete handler (subclasses override for their own
+    #: channel).
+    wire_log = _LOG
+
     # -- plumbing ------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        _LOG.debug("%s - %s", self.address_string(), format % args)
+        self.wire_log.debug("%s - %s", self.address_string(), format % args)
 
     def _send_json(self, status: int, payload: dict,
                    headers: dict[str, str] | None = None) -> None:
@@ -147,7 +160,8 @@ class _Handler(BaseHTTPRequestHandler):
         route, _, query = self.path.partition("?")
         return route, parse_qs(query)
 
-    def _read_request_schema(self) -> SolveRequestV1:
+    def _read_body(self) -> bytes:
+        """The request body, bounded by :data:`MAX_BODY_BYTES`."""
         length = self._body_length()
         if length < 0:
             self.close_connection = True
@@ -161,12 +175,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise SchemaError(
                 f"request body of {length} bytes exceeds the "
                 f"{MAX_BODY_BYTES}-byte bound")
-        body = self.rfile.read(length)
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise SchemaError(f"request body is not valid JSON ({error})")
-        return SolveRequestV1.from_json_dict(payload)
+        return self.rfile.read(length)
 
     def _dispatch(self, handler) -> None:
         try:
@@ -176,8 +185,20 @@ class _Handler(BaseHTTPRequestHandler):
         except BrokenPipeError:
             pass  # client went away mid-answer; nothing to send it
         except Exception as error:  # noqa: BLE001 - the wire must answer
-            _LOG.exception("unhandled error serving %s", self.path)
+            self.wire_log.exception("unhandled error serving %s", self.path)
             self._send_error_envelope(ErrorEnvelope.from_exception(error))
+
+
+class _Handler(WireHandler):
+    """Routes one HTTP exchange onto the owning :class:`SolveHTTPServer`."""
+
+    def _read_request_schema(self) -> SolveRequestV1:
+        body = self._read_body()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SchemaError(f"request body is not valid JSON ({error})")
+        return SolveRequestV1.from_json_dict(payload)
 
     # -- routes --------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API

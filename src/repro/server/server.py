@@ -28,8 +28,10 @@ the loop path to the solve tolerance instead of to the bit (see
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import uuid
 
 from repro.api.schemas import SolveRequestV1 as SolveRequest
 from repro.api.schemas import SolveResponseV1 as SolveResponse
@@ -108,6 +110,12 @@ class SolveServer:
                  telemetry: MetricsRegistry | None = None,
                  batch_mode: str = "loop",
                  tracer=None) -> None:
+        # Stable identity of *this server instance*: a restarted replica
+        # gets a fresh id (and a later started_at), which is how the fleet
+        # router detects silent restarts — the restarted replica's
+        # fingerprint-shard cache is cold even though the URL is unchanged.
+        self.replica_id = uuid.uuid4().hex[:16]
+        self.started_at = time.time()
         self.store = (ObservationStore(store)
                       if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
                       else store)
@@ -264,6 +272,9 @@ class SolveServer:
             "schema_version": SCHEMA_VERSION,
             "queue_depth": self.queue.depth,
             "inflight": self.queue.inflight,
+            "replica_id": self.replica_id,
+            "started_at": self.started_at,
+            "pid": os.getpid(),
         })
         return payload
 

@@ -43,7 +43,7 @@ import numpy as np
 from repro.exceptions import ParameterError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "render_label_key"]
+           "render_label_key", "parse_label_key"]
 
 #: Default cap on retained histogram samples.  Beyond it the histogram keeps
 #: exact count / sum / min / max and estimates quantiles from a uniform
@@ -72,6 +72,50 @@ def render_label_key(name: str, labels: dict[str, str]) -> str:
     inner = ",".join(f'{key}="{_escape_label_value(value)}"'
                      for key, value in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+_LABEL_ITEM_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"(?:,|\Z)')
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_label_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`render_label_key`: ``name{k="v"}`` → name + labels.
+
+    The fleet router uses this to re-key replica snapshot entries with an
+    added ``replica`` label while keeping any labels the replica already
+    rendered.  Raises :class:`~repro.exceptions.ParameterError` on keys this
+    module could not have produced.
+    """
+    if not (key.endswith("}") and "{" in key):
+        return key, {}
+    name, _, inner = key.partition("{")
+    inner = inner[:-1]
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(inner):
+        match = _LABEL_ITEM_RE.match(inner, pos)
+        if match is None:
+            raise ParameterError(
+                f"malformed instrument key {key!r} at offset {pos}")
+        labels[match.group("key")] = _unescape_label_value(
+            match.group("value"))
+        pos = match.end()
+    return name, labels
 
 
 def _validate_labels(name: str, labels: dict[str, object]) -> dict[str, str]:

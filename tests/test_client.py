@@ -1,6 +1,11 @@
-"""Tests of the transport-blind client layer (ABC + InProcessClient)."""
+"""Tests of the transport-blind client layer (ABC + InProcessClient) and
+the HTTP client's reachability contract (timeouts, bounded retry, typed
+``unavailable`` errors)."""
 
 from __future__ import annotations
+
+import socket
+import threading
 
 import numpy as np
 import pytest
@@ -117,3 +122,111 @@ class TestInProcessClient:
             assert status.error.code == "internal"
             with pytest.raises(RemoteSolveError):
                 client.result(job_id, timeout=5.0)
+
+
+class TestHTTPClientReachability:
+    """The hardening satellite: every way a server can be unreachable must
+    surface as a typed ``unavailable`` :class:`RemoteSolveError` naming the
+    target address — never a raw socket exception or an infinite hang."""
+
+    def _free_port(self) -> int:
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def test_rejects_bad_urls_and_negative_retries(self):
+        from repro.client import HTTPClient
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            HTTPClient("ftp://example.com")
+        with pytest.raises(ParameterError):
+            HTTPClient("not a url")
+        with pytest.raises(ParameterError):
+            HTTPClient("http://127.0.0.1:1", connect_retries=-1)
+
+    def test_connection_refused_is_typed_with_the_target_address(self):
+        from repro.client import HTTPClient
+
+        url = f"http://127.0.0.1:{self._free_port()}"
+        client = HTTPClient(url, connect_timeout=2.0, connect_retries=0)
+        with pytest.raises(RemoteSolveError) as excinfo:
+            client.health()
+        envelope = excinfo.value.envelope
+        assert envelope.code == "unavailable"
+        assert envelope.detail["kind"] == "connection"
+        assert envelope.detail["url"] == url
+        assert url in envelope.message
+
+    def test_refused_retry_budget_is_bounded(self):
+        from repro.client import HTTPClient
+
+        url = f"http://127.0.0.1:{self._free_port()}"
+        # connect_retries=1 dials twice, then surfaces the typed error
+        # rather than spinning.
+        client = HTTPClient(url, connect_timeout=2.0, connect_retries=1)
+        with pytest.raises(RemoteSolveError) as excinfo:
+            client.health()
+        assert excinfo.value.envelope.code == "unavailable"
+
+    def test_hung_server_trips_the_read_timeout(self):
+        from repro.client import HTTPClient
+
+        # A listener that accepts and then never answers: the connect
+        # succeeds, so only the *read* timeout can save the caller.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted: list[socket.socket] = []
+
+        def accept_and_stall():
+            try:
+                conn, _ = listener.accept()
+                accepted.append(conn)
+            except OSError:
+                pass
+
+        stall = threading.Thread(target=accept_and_stall, daemon=True)
+        stall.start()
+        try:
+            client = HTTPClient(f"http://127.0.0.1:{port}", timeout=0.3,
+                                connect_timeout=2.0, connect_retries=0)
+            with pytest.raises(RemoteSolveError) as excinfo:
+                client.health()
+            assert excinfo.value.envelope.code == "unavailable"
+            assert excinfo.value.envelope.detail["kind"] == "timeout"
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()
+
+    def test_server_dying_mid_request_is_a_connection_failure(self):
+        from repro.client import HTTPClient
+
+        # Accept, read a little, then slam the socket shut with RST: the
+        # client must classify it as kind="connection" (the fleet router's
+        # failover signal), not crash with a raw socket error.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def accept_and_reset():
+            conn, _ = listener.accept()
+            conn.recv(64)
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            b"\x01\x00\x00\x00\x00\x00\x00\x00")
+            conn.close()
+
+        resetter = threading.Thread(target=accept_and_reset, daemon=True)
+        resetter.start()
+        try:
+            client = HTTPClient(f"http://127.0.0.1:{port}", timeout=5.0,
+                                connect_timeout=2.0, connect_retries=0)
+            with pytest.raises(RemoteSolveError) as excinfo:
+                client.health()
+            assert excinfo.value.envelope.code == "unavailable"
+            assert excinfo.value.envelope.detail["kind"] == "connection"
+        finally:
+            listener.close()

@@ -1,0 +1,173 @@
+"""Replica lifecycle tests: subprocess launch/drain, fleet health monitoring,
+restart detection via replica identity.
+
+Subprocess replicas are real ``repro-serve --http`` workers, so these tests
+exercise the exact process-supervision path the ``repro-fleet`` CLI and the
+CI fleet-smoke job run — ephemeral-port parsing, SIGTERM drain, SIGKILL
+crash recovery.  In-process replicas cover the fast path tests and
+benchmarks compose fleets from.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet.replica import (
+    FleetError,
+    InProcessReplica,
+    ReplicaFleet,
+    SubprocessReplica,
+)
+from repro.server.telemetry import MetricsRegistry
+
+
+def _wait_until(predicate, timeout: float = 30.0, interval: float = 0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestInProcessReplica:
+    def test_lifecycle_and_health(self):
+        replica = InProcessReplica("r0")
+        assert not replica.alive_process()
+        url = replica.start()
+        try:
+            assert url.startswith("http://")
+            assert replica.alive_process()
+            payload = replica.health()
+            assert payload["status"] == "ok"
+            assert payload["replica_id"]
+            assert payload["started_at"] > 0
+        finally:
+            replica.signal_stop()
+            assert replica.wait_stopped() == 0
+        assert not replica.alive_process()
+
+    def test_restart_changes_identity(self):
+        replica = InProcessReplica("r0")
+        replica.start()
+        first = replica.health()["replica_id"]
+        replica.kill()
+        replica.start()
+        try:
+            assert replica.health()["replica_id"] != first
+        finally:
+            replica.kill()
+
+    def test_double_start_is_rejected(self):
+        replica = InProcessReplica("r0")
+        replica.start()
+        try:
+            with pytest.raises(FleetError):
+                replica.start()
+        finally:
+            replica.kill()
+
+    def test_health_before_start_is_an_error(self):
+        with pytest.raises(FleetError):
+            InProcessReplica("r0").health()
+
+
+class TestSubprocessReplica:
+    def test_launch_health_and_graceful_drain(self):
+        replica = SubprocessReplica("worker-0")
+        url = replica.start()
+        try:
+            assert url.startswith("http://127.0.0.1:")
+            assert replica.alive_process()
+            payload = replica.health(timeout=10.0)
+            assert payload["status"] == "ok"
+            assert payload["pid"] == replica.process.pid
+        finally:
+            replica.signal_stop()
+            code = replica.wait_stopped(timeout=30.0)
+        # SIGTERM takes the CLI's graceful path: drain, then exit 0.
+        assert code == 0
+        assert not replica.alive_process()
+        assert any("drained and shut down cleanly" in line
+                   for line in replica.output)
+
+    def test_kill_is_reaped_with_nonzero_code(self):
+        replica = SubprocessReplica("worker-0")
+        replica.start()
+        replica.kill()
+        assert not replica.alive_process()
+        assert replica.returncode != 0
+
+
+class TestReplicaFleet:
+    def test_requires_unique_nonempty_replicas(self):
+        with pytest.raises(FleetError):
+            ReplicaFleet([])
+        with pytest.raises(FleetError):
+            ReplicaFleet([InProcessReplica("a"), InProcessReplica("a")])
+
+    def test_start_probe_and_drain(self):
+        fleet = ReplicaFleet([InProcessReplica(f"r{i}") for i in range(2)],
+                             health_interval=10.0)
+        fleet.start()
+        try:
+            assert fleet.ids() == ("r0", "r1")
+            assert fleet.live_ids() == frozenset({"r0", "r1"})
+            assert fleet.url_of("r0").startswith("http://")
+            states = fleet.states()
+            assert states["r0"]["alive"] and states["r0"]["replica_id"]
+            assert fleet.telemetry.gauge("fleet.replicas_live").value == 2
+        finally:
+            codes = fleet.drain()
+        assert codes == {"r0": 0, "r1": 0}
+        assert fleet.live_ids() == frozenset()
+
+    def test_mark_dead_heals_on_next_probe(self):
+        fleet = ReplicaFleet([InProcessReplica("r0")], health_interval=10.0)
+        with fleet:
+            fleet.mark_dead("r0")
+            assert fleet.live_ids() == frozenset()
+            assert fleet.url_of("r0") is None
+            # The replica is actually fine: one probe revives it.
+            fleet.probe_now()
+            assert fleet.live_ids() == frozenset({"r0"})
+            assert fleet.telemetry.counter(
+                "fleet.replica_marked_dead", replica="r0").value == 1
+
+    def test_dead_replica_is_restarted_with_new_identity(self):
+        telemetry = MetricsRegistry()
+        fleet = ReplicaFleet(
+            [SubprocessReplica("worker-0")], telemetry=telemetry,
+            health_interval=0.2, backoff_initial=0.1, probe_timeout=10.0)
+        fleet.start()
+        try:
+            assert _wait_until(lambda: fleet.live_ids(), timeout=30.0)
+            first_id = fleet.states()["worker-0"]["replica_id"]
+            assert first_id
+            # Crash the worker: the monitor must notice, relaunch it, and
+            # flag the identity change (the shard cache went cold).
+            fleet._replicas[0].kill()
+            assert _wait_until(
+                lambda: (fleet.states()["worker-0"]["replica_id"]
+                         not in (None, first_id)
+                         and fleet.live_ids()),
+                timeout=60.0)
+            assert telemetry.counter("fleet.replica_died",
+                                     replica="worker-0").value >= 1
+            assert telemetry.counter("fleet.replica_restarted",
+                                     replica="worker-0").value >= 1
+            assert fleet.states()["worker-0"]["restarts"] >= 1
+        finally:
+            fleet.drain()
+
+    def test_no_restart_mode_leaves_replica_dead(self):
+        fleet = ReplicaFleet([InProcessReplica("r0"), InProcessReplica("r1")],
+                             health_interval=10.0, restart=False)
+        with fleet:
+            fleet._replicas[0].kill()
+            fleet.probe_now()
+            assert fleet.live_ids() == frozenset({"r1"})
+            fleet.probe_now()
+            assert fleet.live_ids() == frozenset({"r1"})

@@ -1,0 +1,151 @@
+"""Consistent-hash ring tests: determinism, balance, remap stability.
+
+The load-bearing property is *consistency*: removing a member remaps only
+the keys that member owned (hypothesis-tested over random fleets and key
+sets), and ``route(key, exclude=...)`` is exactly the assignment
+``remove`` would have produced — the router's failover path and a real
+membership change route identically.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.fleet.ring import DEFAULT_VNODES, HashRing
+
+MEMBERS = tuple(f"replica-{i}" for i in range(4))
+KEYS = [f"fp:{i:04d}" for i in range(400)]
+
+
+class TestMembership:
+    def test_empty_ring_routes_to_none(self):
+        ring = HashRing()
+        assert ring.route("anything") is None
+        assert list(ring.preference("anything")) == []
+
+    def test_members_sorted_len_contains(self):
+        ring = HashRing(["b", "a", "c"])
+        assert ring.members == ("a", "b", "c")
+        assert len(ring) == 3
+        assert "a" in ring and "z" not in ring
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a"], vnodes=8)
+        table = ring.shard_table(KEYS)
+        ring.add("a")
+        assert ring.shard_table(KEYS) == table
+        assert len(ring) == 1
+
+    def test_remove_unknown_member_is_a_noop(self):
+        ring = HashRing(MEMBERS)
+        ring.remove("not-there")
+        assert ring.members == tuple(sorted(MEMBERS))
+
+    def test_rejects_empty_member_and_bad_vnodes(self):
+        with pytest.raises(ParameterError):
+            HashRing([""])
+        with pytest.raises(ParameterError):
+            HashRing(vnodes=0)
+
+
+class TestDeterminism:
+    def test_placement_is_independent_of_insertion_order(self):
+        forward = HashRing(MEMBERS)
+        backward = HashRing(reversed(MEMBERS))
+        assert forward.shard_table(KEYS) == backward.shard_table(KEYS)
+
+    def test_two_rings_route_identically(self):
+        # Two routers with no coordination must agree on every key.
+        assert (HashRing(MEMBERS).shard_table(KEYS)
+                == HashRing(MEMBERS).shard_table(KEYS))
+
+    def test_routing_is_stable_across_calls(self):
+        ring = HashRing(MEMBERS)
+        first = ring.shard_table(KEYS)
+        assert ring.shard_table(KEYS) == first
+
+
+class TestBalance:
+    def test_vnodes_spread_the_load(self):
+        ring = HashRing(MEMBERS, vnodes=DEFAULT_VNODES)
+        counts = collections.Counter(ring.shard_table(KEYS).values())
+        assert set(counts) == set(MEMBERS)  # nobody starves
+        expected = len(KEYS) / len(MEMBERS)
+        for member, count in counts.items():
+            assert count == pytest.approx(expected, rel=0.6), member
+
+
+class TestConsistency:
+    def test_removal_only_remaps_the_removed_members_keys(self):
+        ring = HashRing(MEMBERS)
+        before = ring.shard_table(KEYS)
+        ring.remove("replica-2")
+        after = ring.shard_table(KEYS)
+        for key in KEYS:
+            if before[key] != "replica-2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "replica-2"
+
+    def test_exclude_equals_removal(self):
+        ring = HashRing(MEMBERS)
+        removed = HashRing(MEMBERS)
+        removed.remove("replica-1")
+        for key in KEYS:
+            assert (ring.route(key, exclude={"replica-1"})
+                    == removed.route(key))
+
+    def test_addition_only_steals_keys_for_the_new_member(self):
+        ring = HashRing(MEMBERS)
+        before = ring.shard_table(KEYS)
+        ring.add("replica-new")
+        after = ring.shard_table(KEYS)
+        for key in KEYS:
+            assert after[key] in (before[key], "replica-new")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        members=st.sets(st.text(
+            alphabet=st.characters(codec="ascii",
+                                   categories=("L", "N")),
+            min_size=1, max_size=8), min_size=2, max_size=6),
+        keys=st.lists(st.text(min_size=1, max_size=16),
+                      min_size=1, max_size=30),
+        victim_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_remap_stability_property(self, members, keys, victim_index):
+        """For any fleet and key set, removing one member remaps only the
+        keys it owned — every other key keeps its owner."""
+        ring = HashRing(members, vnodes=16)
+        victim = sorted(members)[victim_index % len(members)]
+        before = ring.shard_table(keys)
+        ring.remove(victim)
+        after = ring.shard_table(keys)
+        for key in keys:
+            if before[key] != victim:
+                assert after[key] == before[key]
+
+
+class TestPreference:
+    def test_preference_walk_is_distinct_and_complete(self):
+        ring = HashRing(MEMBERS)
+        for key in KEYS[:50]:
+            walk = list(ring.preference(key))
+            assert sorted(walk) == sorted(MEMBERS)  # every member, once
+            assert walk[0] == ring.route(key)  # starts at the owner
+
+    def test_preference_tail_is_the_failover_order(self):
+        # Walking the preference list IS iterated removal of the heads.
+        ring = HashRing(MEMBERS)
+        for key in KEYS[:50]:
+            walk = list(ring.preference(key))
+            for depth in range(1, len(walk)):
+                assert ring.route(key, exclude=set(walk[:depth])) == walk[depth]
+
+    def test_route_with_everything_excluded_is_none(self):
+        ring = HashRing(MEMBERS)
+        assert ring.route("k", exclude=set(MEMBERS)) is None
