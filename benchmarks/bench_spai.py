@@ -1,0 +1,102 @@
+"""Micro-benchmark: batched SPAI least-squares vs the seed per-column loop.
+
+``_spai_static`` used to run one dense ``np.linalg.lstsq`` per column of the
+approximate inverse — the last of the per-row/per-column Python loops the
+ROADMAP carried as perf debt.  The vectorised kernel groups columns whose
+local problem shares a dense shape ``(touched rows, support size)`` and solves
+each group with a single batched QR factorisation.  This benchmark runs the
+seed loop (kept verbatim as ``_spai_static_loop``) against the batched kernel
+on the paper's 2-D FD Laplacian stencil family and checks that
+
+* the batched kernel is at least ``SPAI_REQUIRED_SPEEDUP``x faster, and
+* both kernels produce the same approximate inverse to floating-point
+  tolerance (same pattern, entrywise agreement).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_spai.py``) or through
+pytest.  ``SPAI_REQUIRED_SPEEDUP`` overrides the gate (CI uses a lower bar for
+shared-runner noise).  When run directly with ``SPAI_JSON`` set, the measured
+numbers are written there as JSON (CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.matrices.registry import get_matrix
+from repro.precond.spai import SPAIPreconditioner, _spai_static, _spai_static_loop
+
+#: Stencil matrix + one level of fill: the structured pattern that makes the
+#: shape-grouped batching shine (a handful of shape classes for thousands of
+#: columns), and the configuration the serve-time ``spai`` policy rule builds.
+BENCH_MATRIX = "2DFDLaplace_64"
+BENCH_PATTERN_POWER = 2
+REQUIRED_SPEEDUP = float(os.environ.get("SPAI_REQUIRED_SPEEDUP", "4"))
+
+
+def _best_time(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_problem():
+    matrix = get_matrix(BENCH_MATRIX)
+    # Reuse the real pattern construction so the benchmark measures exactly
+    # what SPAIPreconditioner(pattern_power=2) runs at serve time.
+    preconditioner = SPAIPreconditioner(matrix, pattern_power=BENCH_PATTERN_POWER)
+    pattern = abs(matrix) @ abs(matrix)
+    pattern = pattern.tocsr()
+    pattern.data = np.ones_like(pattern.data)
+    return matrix, pattern, preconditioner
+
+
+def bench_spai_static() -> dict:
+    """Timings + equivalence checks of the static-pattern solve (no gate)."""
+    matrix, pattern, _ = _bench_problem()
+    loop_time = _best_time(lambda: _spai_static_loop(matrix, pattern), rounds=3)
+    batched_time = _best_time(lambda: _spai_static(matrix, pattern), rounds=3)
+    speedup = loop_time / batched_time
+
+    reference = _spai_static_loop(matrix, pattern)
+    batched = _spai_static(matrix, pattern)
+    assert reference.nnz == batched.nnz, "batched SPAI changed the pattern"
+    np.testing.assert_array_equal(reference.indptr, batched.indptr)
+    np.testing.assert_array_equal(reference.indices, batched.indices)
+    np.testing.assert_allclose(batched.data, reference.data,
+                               rtol=1e-9, atol=1e-12)
+
+    print(f"\nSPAI static solve ({BENCH_MATRIX}, pattern power "
+          f"{BENCH_PATTERN_POWER}, {pattern.nnz} pattern entries): "
+          f"loop {loop_time * 1e3:.1f} ms, batched {batched_time * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x")
+    return {"matrix": BENCH_MATRIX, "pattern_power": BENCH_PATTERN_POWER,
+            "pattern_nnz": int(pattern.nnz), "loop_s": loop_time,
+            "batched_s": batched_time, "speedup": speedup}
+
+
+def test_spai_static_speedup():
+    """Batched SPAI least-squares must beat the per-column loop."""
+    speedup = bench_spai_static()["speedup"]
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched SPAI only {speedup:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    results = {"spai_static": bench_spai_static()}
+    json_path = os.environ.get("SPAI_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {json_path}")
+    for name, metrics in results.items():
+        assert metrics["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{name}: {metrics['speedup']:.1f}x < required {REQUIRED_SPEEDUP}x"
+        )

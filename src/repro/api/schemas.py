@@ -282,6 +282,7 @@ class PolicyProvenance:
     neighbour_name: str | None = None
     neighbour_distance: float | None = None
     built_family: str = ""
+    model_version: str | None = None
 
     @classmethod
     def from_decision(cls, decision, built_family: str) -> "PolicyProvenance":
@@ -295,6 +296,7 @@ class PolicyProvenance:
             neighbour_name=decision.neighbour_name,
             neighbour_distance=decision.neighbour_distance,
             built_family=built_family,
+            model_version=getattr(decision, "model_version", None),
         )
 
     def to_json_dict(self) -> dict:
@@ -312,6 +314,8 @@ class PolicyProvenance:
                                  "distance": self.neighbour_distance}
         if self.built_family:
             info["built_family"] = self.built_family
+        if self.model_version is not None:
+            info["model_version"] = self.model_version
         return info
 
     @classmethod
@@ -332,6 +336,8 @@ class PolicyProvenance:
             neighbour_distance=(None if neighbour.get("distance") is None
                                 else float(neighbour["distance"])),
             built_family=str(payload.get("built_family", "")),
+            model_version=(None if payload.get("model_version") is None
+                           else str(payload["model_version"])),
         )
 
     # -- read-only mapping interface (back-compat with the dict provenance) --

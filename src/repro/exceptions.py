@@ -90,3 +90,7 @@ class SearchSpaceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received an invalid configuration."""
+
+
+class LearnError(ReproError):
+    """Online-learning subsystem failure (registry, trainer, policy)."""

@@ -146,15 +146,24 @@ def nearest_feature_neighbour(candidates: list[np.ndarray],
     warm-start convention shared by the tuning service and the solve-server
     policy — both layers must pick the same neighbour for the same store.
 
+    Columns that are constant (zero variance — a degenerate store where every
+    matrix shares a feature value) or that contain non-finite entries carry no
+    ranking information and would otherwise poison the standardisation with
+    ``0/0`` or ``inf - inf``; they are excluded from the distance.
+
     Returns ``None`` when ``candidates`` is empty.
     """
     if not candidates:
         return None
     stack = np.stack([np.asarray(c, dtype=np.float64) for c in candidates]
                      + [np.asarray(target, dtype=np.float64)])
+    informative = np.all(np.isfinite(stack), axis=0)
+    stack = np.where(informative, stack, 0.0)
     scale = stack.std(axis=0)
-    scale[scale == 0.0] = 1.0
+    degenerate = ~informative | ~np.isfinite(scale) | (scale < 1e-12)
+    scale[degenerate] = 1.0
     normalised = (stack - stack.mean(axis=0)) / scale
+    normalised[:, degenerate] = 0.0
     distances = np.linalg.norm(normalised[:-1] - normalised[-1], axis=1)
     best = int(np.argmin(distances))
     return best, float(distances[best])

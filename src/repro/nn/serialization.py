@@ -17,8 +17,16 @@ from repro.exceptions import SurrogateError
 __all__ = ["save_state_dict", "load_state_dict"]
 
 
-def save_state_dict(state: dict[str, np.ndarray], path: str | os.PathLike) -> str:
-    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+def save_state_dict(state: dict[str, np.ndarray], path: str | os.PathLike, *,
+                    atomic: bool = False) -> str:
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing).
+
+    With ``atomic=True`` the archive is written to a same-directory temporary
+    file, flushed to disk, and moved into place with :func:`os.replace`, so a
+    crash mid-write can never leave a truncated archive at ``path`` — the
+    contract the online trainer's checkpoints and the model registry's
+    publishes rely on.
+    """
     if not state:
         raise SurrogateError("refusing to save an empty state dict")
     path = os.fspath(path)
@@ -27,7 +35,19 @@ def save_state_dict(state: dict[str, np.ndarray], path: str | os.PathLike) -> st
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    if not atomic:
+        np.savez_compressed(path, **state)
+        return path
+    temp_path = path + f".tmp-{os.getpid()}"
+    try:
+        with open(temp_path, "wb") as handle:
+            np.savez_compressed(handle, **state)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    finally:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
     return path
 
 

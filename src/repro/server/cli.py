@@ -18,6 +18,14 @@ Installed as a console script by ``setup.py``.  Two modes:
       repro-serve --http --port 8080
       repro-serve --http --port 0          # ephemeral port, printed on stdout
 
+Both modes accept ``--learn`` (with ``--store`` and ``--model-dir``) to run
+the online learning loop while serving; ``--learn-status URL`` queries a
+running wire server's ``GET /v1/learn`` and exits::
+
+      repro-serve --http --port 0 --store runs/store --learn --model-dir runs/models
+      repro-serve 2DFDLaplace_16 --repeat 4 --store runs/store --learn --model-dir runs/models
+      repro-serve --learn-status http://127.0.0.1:8080
+
 Admission rejections exit non-zero (2) with the typed
 :class:`~repro.api.errors.ErrorEnvelope` on stderr instead of a traceback,
 so scripted callers can parse the structured reason.
@@ -97,6 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None,
                         help="observation-store directory for policy reuse "
                              "and online feedback (default: none)")
+    parser.add_argument("--learn", action="store_true",
+                        help="enable the online learning loop: train the GNN "
+                             "surrogate from the observation store in the "
+                             "background, publish versioned models to "
+                             "--model-dir and let the policy propose MCMC "
+                             "parameters by Expected Improvement (requires "
+                             "--store and --model-dir; applies to one-shot "
+                             "and --http serving alike)")
+    parser.add_argument("--model-dir", default=None, metavar="DIR",
+                        help="model-registry directory of --learn (versioned "
+                             "snapshots, CURRENT pointer, trainer checkpoint)")
+    parser.add_argument("--learn-interval", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="background retrain poll period of --learn "
+                             "(default: 10)")
+    parser.add_argument("--learn-threshold", type=int, default=16, metavar="N",
+                        help="new store records that trigger a retrain "
+                             "(default: 16)")
+    parser.add_argument("--learn-min-records", type=int, default=24,
+                        metavar="N",
+                        help="store records required before the first "
+                             "generation trains (default: 24)")
+    parser.add_argument("--learn-status", default=None, metavar="URL",
+                        help="query GET /v1/learn of a running --http server "
+                             "at URL, print the JSON status and exit")
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="enable request tracing and write spans to "
                              "DIR/trace.jsonl (streamed) plus DIR/trace.json "
@@ -136,10 +169,44 @@ def _finish_tracer(tracer: Tracer | None, trace_dir: str | None) -> None:
           f"and {chrome_path}", flush=True)
 
 
-def _serve_http(args: argparse.Namespace) -> int:
+def _learn_kwargs(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> dict:
+    """:class:`SolveServer` keyword arguments of the ``--learn`` flags."""
+    if not args.learn:
+        if args.model_dir is not None:
+            parser.error("--model-dir only applies together with --learn")
+        return {}
+    if args.store is None:
+        parser.error("--learn trains from the observation store; "
+                     "--store is required")
+    if args.model_dir is None:
+        parser.error("--learn publishes model versions to a registry; "
+                     "--model-dir is required")
+    from repro.learn import LearnConfig
+
+    config = LearnConfig(min_records=args.learn_min_records,
+                         retrain_threshold=args.learn_threshold,
+                         interval_s=args.learn_interval)
+    return {"learn": True, "model_dir": args.model_dir,
+            "learn_config": config}
+
+
+def _query_learn_status(url: str) -> int:
+    """Print ``GET /v1/learn`` of a running wire server (``--learn-status``)."""
+    from urllib.request import urlopen
+
+    with urlopen(url.rstrip("/") + "/v1/learn", timeout=10) as response:
+        payload = json.load(response)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _serve_http(args: argparse.Namespace,
+                learn_kwargs: dict | None = None) -> int:
     """Blocking wire-server mode; returns 0 on a graceful interrupt."""
     tracer = _make_tracer(args.trace_dir)
     server_kwargs = {} if tracer is None else {"tracer": tracer}
+    server_kwargs.update(learn_kwargs or {})
     http_server = SolveHTTPServer(host=args.host, port=args.port,
                                   store=args.store,
                                   batch_mode=args.batch_mode,
@@ -174,6 +241,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:36s} n={spec.dimension:<7d} "
                   f"symmetric={spec.symmetric} group={spec.group}")
         return 0
+    if args.learn_status is not None:
+        if args.matrix is not None or args.http or args.learn:
+            parser.error("--learn-status queries a running server and "
+                         "combines with no other mode")
+        return _query_learn_status(args.learn_status)
+    learn_kwargs = _learn_kwargs(args, parser)
     if args.http:
         if args.matrix is not None:
             parser.error("--http serves requests over the wire; "
@@ -191,7 +264,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"{', '.join(conflicting)} only apply to one-shot "
                          f"solves and are ignored by --http; requests carry "
                          f"these settings over the wire instead")
-        return _serve_http(args)
+        return _serve_http(args, learn_kwargs)
     if args.matrix is None:
         parser.error("a matrix name is required (or --list-matrices/--http)")
     if args.matrix not in MATRIX_REGISTRY:
@@ -204,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
     preconditioner = None if args.preconditioner == "auto" else args.preconditioner
     tracer = _make_tracer(args.trace_dir)
     server_kwargs = {} if tracer is None else {"tracer": tracer}
+    server_kwargs.update(learn_kwargs)
     with SolveServer(store=args.store, batch_mode=args.batch_mode,
                      **server_kwargs) as server:
         try:
@@ -227,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         server.drain()
         responses = [job.result() for job in jobs]
         snapshot = server.telemetry_snapshot()
+        learn_report = server.learn_status() if args.learn else None
     _finish_tracer(tracer, args.trace_dir)
 
     exit_code = 0
@@ -254,12 +329,17 @@ def main(argv: list[str] | None = None) -> int:
             "solution_norm": float(np.linalg.norm(response.solution)),
         })
 
+    if learn_report is not None:
+        print("\nlearn:")
+        print(json.dumps(learn_report, indent=2))
     print("\ntelemetry:")
     print(json.dumps(snapshot, indent=2))
     if args.json is not None:
+        payload = {"responses": report, "telemetry": snapshot}
+        if learn_report is not None:
+            payload["learn"] = learn_report
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump({"responses": report, "telemetry": snapshot},
-                      handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
     return exit_code
 

@@ -20,6 +20,9 @@ GET      ``/v1/jobs/<id>``  → ``job_status`` (result / error once finished)
 GET      ``/v1/metrics``    → ``telemetry`` snapshot
                              (``?format=prometheus`` → text exposition)
 GET      ``/v1/healthz``    → liveness + queue state
+GET      ``/v1/learn``      → online-learning status (trainer state, model
+                             version, record counters; ``enabled: false``
+                             on a learning-free server)
 =======  =================  ===================================================
 
 Tracing: a client may send an ``X-Repro-Trace-Id`` header on solve/submit;
@@ -216,6 +219,8 @@ class _Handler(WireHandler):
         route, query = self._split_path()
         if route == "/v1/healthz":
             self._dispatch(self._get_healthz)
+        elif route == "/v1/learn":
+            self._dispatch(self._get_learn)
         elif route == "/v1/metrics":
             self._dispatch(lambda: self._get_metrics(query))
         elif route.startswith("/v1/jobs/"):
@@ -279,6 +284,10 @@ class _Handler(WireHandler):
     def _get_healthz(self) -> None:
         self._send_json(
             200, self.server.adapter.solve_server.health_snapshot())
+
+    def _get_learn(self) -> None:
+        self._send_json(
+            200, self.server.adapter.solve_server.learn_status())
 
 
 class _HTTPServer(ThreadingHTTPServer):

@@ -12,11 +12,17 @@ Decision ladder (first match wins):
    holds tuned MCMC observations for this exact matrix fingerprint; reuse
    the best-performing parameter vector (the online analogue of the
    :class:`~repro.service.tuner_service.TuningService`'s exact-reuse tier).
-3. **Warm start** — the store has never seen this matrix but knows others;
+3. **Surrogate** — an online-trained surrogate model
+   (:class:`~repro.learn.policy.SurrogatePolicy`, opt-in via ``--learn``)
+   proposes MCMC parameters by maximising Expected Improvement; decisions
+   carry the model version in their provenance.  The stage declines (model
+   not ready, low confidence, proposal error) by returning ``None`` and the
+   ladder continues unchanged.
+4. **Warm start** — the store has never seen this matrix but knows others;
    the nearest registered neighbour in standardised
    :func:`~repro.matrices.features.feature_vector` space donates its best
    parameters.
-4. **Rule table** — cold start from
+5. **Rule table** — cold start from
    :func:`~repro.matrices.features.structural_flags`:
 
    ========================  ==========================  =========
@@ -64,6 +70,7 @@ __all__ = [
     "PreconditionerPolicy",
     "ORIGIN_EXPLICIT",
     "ORIGIN_STORED",
+    "ORIGIN_SURROGATE",
     "ORIGIN_WARM_START",
     "ORIGIN_RULE",
 ]
@@ -72,6 +79,7 @@ _LOG = get_logger("server.policy")
 
 ORIGIN_EXPLICIT = "explicit"
 ORIGIN_STORED = "stored"
+ORIGIN_SURROGATE = "surrogate"
 ORIGIN_WARM_START = "warm_start"
 ORIGIN_RULE = "rule"
 
@@ -106,6 +114,7 @@ class PolicyDecision:
     rule: str = ""
     neighbour_name: str | None = None
     neighbour_distance: float | None = None
+    model_version: str | None = None
 
     def cache_key(self, fingerprint: str) -> tuple:
         """Key of the built preconditioner in the shared artifact cache.
@@ -136,6 +145,8 @@ class PolicyDecision:
         if self.neighbour_name is not None:
             info["neighbour"] = {"name": self.neighbour_name,
                                  "distance": self.neighbour_distance}
+        if self.model_version is not None:
+            info["model_version"] = self.model_version
         return info
 
 
@@ -156,20 +167,29 @@ class PreconditionerPolicy:
         docstring) for stored-reuse and warm-start decisions.
     bounds:
         Parameter box warm-started MCMC parameters are clipped into.
+    surrogate:
+        Optional :class:`~repro.learn.policy.SurrogatePolicy` (any object
+        with a compatible ``propose``) consulted between stored reuse and
+        warm start.  ``None`` (the default) keeps the ladder — and serving —
+        exactly as without online learning.
     """
 
     def __init__(self, store: ObservationStore | None = None, *,
-                 bounds: ParameterBounds = DEFAULT_BOUNDS) -> None:
+                 bounds: ParameterBounds = DEFAULT_BOUNDS,
+                 surrogate=None) -> None:
         self.store = store
         self.bounds = bounds
+        self.surrogate = surrogate
         self._best_by_fingerprint: dict[str, MCMCParameters] = {}
         self._neighbour_pool: list[tuple[str, str, np.ndarray]] = []
+        self._name_by_fingerprint: dict[str, str] = {}
         self.refresh()
 
     def refresh(self) -> None:
         """Re-snapshot the store (new records become visible to decisions)."""
         best: dict[str, MCMCParameters] = {}
         pool: list[tuple[str, str, np.ndarray]] = []
+        names: dict[str, str] = {}
         if self.store is not None:
             self.store.reload()
             for fingerprint in self.store.fingerprints():
@@ -179,11 +199,13 @@ class PreconditionerPolicy:
                 winner = min(records, key=lambda r: r.to_record().y_mean)
                 best[fingerprint] = winner.parameters
             for fingerprint, entry in self.store.matrix_entries().items():
+                names[fingerprint] = entry.name
                 if fingerprint in best and entry.features is not None:
                     pool.append((fingerprint, entry.name,
                                  np.asarray(entry.features, dtype=np.float64)))
         self._best_by_fingerprint = best
         self._neighbour_pool = pool
+        self._name_by_fingerprint = names
 
     # -- the decision ladder ------------------------------------------------
     def decide(self, matrix: sp.spmatrix, fingerprint: str, *,
@@ -219,6 +241,19 @@ class PreconditionerPolicy:
                 solver=solver or stored.solver,
                 params=_mcmc_params_tuple(stored),
                 origin=ORIGIN_STORED)
+
+        if self.surrogate is not None:
+            proposal = self.surrogate.propose(
+                matrix, fingerprint, solver=solver,
+                matrix_name=self._name_by_fingerprint.get(fingerprint))
+            if proposal is not None:
+                proposed = proposal.parameters.clipped(self.bounds)
+                return PolicyDecision(
+                    family="mcmc",
+                    solver=solver or proposed.solver,
+                    params=_mcmc_params_tuple(proposed),
+                    origin=ORIGIN_SURROGATE,
+                    model_version=proposal.model_version)
 
         neighbour = self._nearest_neighbour(matrix, fingerprint)
         if neighbour is not None:

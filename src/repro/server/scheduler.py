@@ -45,6 +45,7 @@ making the tuning layer's future recommendations cheaper.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -157,6 +158,19 @@ class Scheduler:
         tolerance rather than to the bit.  Requests demanding block mode
         for a solver without a block implementation are served through the
         loop path (recorded in the ``solve.block_unsupported`` counter).
+    matrix_bank:
+        Optional :class:`~repro.learn.trainer.MatrixBank` (anything with a
+        ``put(name, matrix)``): every matrix that produces a store record
+        is banked under the record's ``matrix_name`` so the online trainer
+        can rebuild graphs for non-registry matrices.  ``None`` when
+        learning is off — the scheduler never imports :mod:`repro.learn`.
+    shadow_eval:
+        When ``True`` (the ``--learn`` serving mode), every loop-served
+        solve feeds the ``policy.regret`` histogram, labelled by decision
+        origin: the iteration excess over the best count any policy stage
+        has achieved for the same ``(fingerprint, solver, rtol, maxiter)``
+        slot.  A surrogate that beats the incumbent records zero regret
+        *and* lowers the bar for the rule/warm-start stages it shadows.
     """
 
     def __init__(self, *, policy: PreconditionerPolicy, cache: ArtifactCache,
@@ -165,7 +179,9 @@ class Scheduler:
                  store: ObservationStore | None = None,
                  record_observations: bool = True,
                  batch_mode: str = "loop",
-                 tracer=None) -> None:
+                 tracer=None,
+                 matrix_bank=None,
+                 shadow_eval: bool = False) -> None:
         self.policy = policy
         self.cache = cache
         self.executor = executor if executor is not None else SerialExecutor()
@@ -178,7 +194,11 @@ class Scheduler:
                 f"unknown batch_mode {batch_mode!r}; "
                 f"expected one of {BATCH_MODES}")
         self.batch_mode = batch_mode
+        self.matrix_bank = matrix_bank
+        self.shadow_eval = bool(shadow_eval)
         self._registered_fingerprints: set[str] = set()
+        self._incumbent_iterations: dict[tuple, int] = {}
+        self._shadow_lock = threading.Lock()
 
     # -- batch execution ----------------------------------------------------
     def execute(self, jobs: list[Job]) -> None:
@@ -324,6 +344,13 @@ class Scheduler:
         self.telemetry.counter("solve.matvecs_total").add(
             total_matvecs(results))
 
+        if self.shadow_eval and not used_block:
+            # Block iteration counts are shared across the batch and not
+            # comparable with single-rhs incumbents; only loop-served solves
+            # feed the regret signal (mirrors the store-feedback gate below).
+            self._record_regret(group, decision,
+                                [result.iterations for result in results])
+
         provenance = PolicyProvenance.from_decision(decision, built_family)
         batch = len(group.jobs)
         self.telemetry.histogram("solve.batch_size").observe(batch)
@@ -429,6 +456,30 @@ class Scheduler:
         return make_preconditioner(decision.family, group.matrix,
                                    **dict(decision.params))
 
+    # -- shadow evaluation (online-learning mode) ----------------------------
+    def _record_regret(self, group: _Group, decision: PolicyDecision,
+                       iteration_counts: list[int]) -> None:
+        """Feed ``policy.regret{origin=...}`` against the running incumbent.
+
+        The incumbent is the best iteration count *any* decision origin has
+        achieved on this ``(fingerprint, solver, rtol, maxiter)`` slot since
+        the server started; regret is the (clamped-at-zero) excess over it.
+        A consistently-zero surrogate series against a positive rule series
+        is the online win signal the A/B benchmark asserts offline.
+        """
+        key = (group.fingerprint, decision.solver, group.rtol, group.maxiter)
+        with self._shadow_lock:
+            incumbent = self._incumbent_iterations.get(key)
+            for iterations in iteration_counts:
+                iterations = int(iterations)
+                regret = (0 if incumbent is None
+                          else max(0, iterations - incumbent))
+                incumbent = (iterations if incumbent is None
+                             else min(incumbent, iterations))
+                self.telemetry.histogram(
+                    "policy.regret", origin=decision.origin).observe(regret)
+            self._incumbent_iterations[key] = incumbent
+
     # -- store feedback ------------------------------------------------------
     def _record_observation(self, group: _Group, decision: PolicyDecision,
                             built_family: str, settings: SolverSettings,
@@ -452,6 +503,11 @@ class Scheduler:
                                        group.name or group.fingerprint[:12],
                                        feature_vector(group.matrix))
             self._registered_fingerprints.add(group.fingerprint)
+        if self.matrix_bank is not None:
+            # Bank under the record's matrix_name so the trainer can resolve
+            # graphs for matrices that are not in the registry.
+            self.matrix_bank.put(group.name or group.fingerprint[:12],
+                                 group.matrix)
         iterations = max(int(iterations), 1)
         record = PerformanceRecord(
             parameters=decision.mcmc_parameters(),

@@ -97,6 +97,25 @@ class SolveServer:
         ``None`` (the default) installs the no-op tracer: the request path
         then performs no id generation, no clock reads and no buffering,
         and solutions are bit-identical either way.
+    learn:
+        Opt into the online learning loop (``repro-serve --learn``): a
+        :class:`~repro.learn.trainer.SurrogateTrainer` trains the GNN
+        surrogate from this server's observation store in the background
+        and publishes versioned models to ``model_dir``; the policy gains
+        a surrogate stage that proposes MCMC parameters by Expected
+        Improvement (decisions carry ``origin="surrogate"`` and the model
+        version); the scheduler shadow-evaluates every decision origin
+        through the ``policy.regret`` histogram.  Default ``False`` keeps
+        serving bit-identical to a learning-free server —
+        :mod:`repro.learn` is then never even imported.
+    model_dir:
+        Root of the :class:`~repro.learn.registry.ModelRegistry`
+        (required when ``learn=True``).  A registry that already holds a
+        published model is restored at boot, so a restarted server serves
+        surrogate decisions before its first retrain.
+    learn_config:
+        Optional :class:`~repro.learn.trainer.LearnConfig` overriding the
+        training cadence/budget defaults.
     """
 
     def __init__(self, *, store: ObservationStore | str | None = None,
@@ -109,7 +128,10 @@ class SolveServer:
                  background: bool = True,
                  telemetry: MetricsRegistry | None = None,
                  batch_mode: str = "loop",
-                 tracer=None) -> None:
+                 tracer=None,
+                 learn: bool = False,
+                 model_dir: str | None = None,
+                 learn_config=None) -> None:
         # Stable identity of *this server instance*: a restarted replica
         # gets a fresh id (and a later started_at), which is how the fleet
         # router detects silent restarts — the restarted replica's
@@ -122,13 +144,23 @@ class SolveServer:
         self.cache = cache if cache is not None else global_cache()
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.policy = PreconditionerPolicy(self.store, bounds=bounds)
+        self.learn_enabled = bool(learn)
+        self.trainer = None
+        self.surrogate = None
+        self.model_registry = None
+        self._matrix_bank = None
+        if self.learn_enabled:
+            self._init_learning(model_dir, learn_config, bounds)
+        self.policy = PreconditionerPolicy(self.store, bounds=bounds,
+                                           surrogate=self.surrogate)
         self.queue = JobQueue(max_depth=max_queue_depth)
         self.scheduler = Scheduler(
             policy=self.policy, cache=self.cache, executor=executor,
             telemetry=self.telemetry, store=self.store,
             record_observations=record_observations,
-            batch_mode=batch_mode, tracer=self.tracer)
+            batch_mode=batch_mode, tracer=self.tracer,
+            matrix_bank=self._matrix_bank,
+            shadow_eval=self.learn_enabled)
         if batch_max is not None and batch_max < 1:
             raise ParameterError(
                 f"batch_max must be >= 1 (or None), got {batch_max}")
@@ -137,6 +169,59 @@ class SolveServer:
         self._worker: threading.Thread | None = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
+        if self.trainer is not None:
+            # Background retraining starts only after the server is fully
+            # wired; the synchronous warm-store bootstrap already ran.
+            self.trainer.start()
+
+    def _init_learning(self, model_dir, learn_config, bounds) -> None:
+        """Construct the online-learning loop (``learn=True`` only).
+
+        Imports :mod:`repro.learn` lazily so a learning-free server never
+        pays for (or depends on) the subsystem.  When the store is already
+        warm enough, the first generation trains *synchronously* here —
+        a deterministic bootstrap the CI smoke test and the A/B benchmark
+        rely on (no sleeping until a background tick fires).
+        """
+        from repro.learn import (
+            LearnConfig,
+            MatrixBank,
+            ModelRegistry,
+            SurrogatePolicy,
+            SurrogateTrainer,
+        )
+
+        if self.store is None:
+            raise ParameterError("learn=True requires an observation store")
+        if model_dir is None:
+            raise ParameterError("learn=True requires model_dir")
+        config = learn_config if learn_config is not None else LearnConfig()
+        registry = ModelRegistry(model_dir)
+        self.model_registry = registry
+        self._matrix_bank = MatrixBank()
+        surrogate = SurrogatePolicy(
+            bounds=bounds, xi=config.xi, n_restarts=config.n_restarts,
+            max_sigma=config.max_sigma, telemetry=self.telemetry)
+        self.surrogate = surrogate
+        self.trainer = SurrogateTrainer(
+            self.store, registry, bank=self._matrix_bank, config=config,
+            telemetry=self.telemetry, tracer=self.tracer,
+            on_publish=lambda model, dataset, version, meta:
+                surrogate.update(model, dataset, version, meta))
+        if registry.current_version() is not None:
+            try:
+                if surrogate.restore(registry, self.store,
+                                     bank=self._matrix_bank):
+                    _LOG.info("restored surrogate model %s",
+                              surrogate.model_version)
+            except Exception:  # noqa: BLE001 - serving must boot regardless
+                _LOG.exception("surrogate restore failed; serving without it")
+        if (config.train_on_start and not surrogate.ready
+                and self.trainer.should_train()):
+            try:
+                self.trainer.train_generation()
+            except Exception:  # noqa: BLE001 - serving must boot regardless
+                _LOG.exception("bootstrap training failed; serving without it")
 
     # -- synchronous serving -------------------------------------------------
     def solve(self, request: SolveRequest) -> SolveResponse:
@@ -208,6 +293,10 @@ class SolveServer:
 
     def shutdown(self, timeout: float | None = 30.0) -> None:
         """Close admission, finish admitted work, stop the worker."""
+        if self.trainer is not None:
+            # Stop retraining first: a mid-training abort leaves (at most) an
+            # atomic checkpoint behind, which the next boot resumes from.
+            self.trainer.stop()
         self.queue.close()
         self.drain(timeout=timeout)
         self._stop.set()
@@ -259,6 +348,25 @@ class SolveServer:
     def refresh_policy(self) -> None:
         """Re-snapshot the store so decisions see records written since."""
         self.policy.refresh()
+
+    def learn_status(self) -> dict:
+        """Admin view of the online learning loop (``GET /v1/learn``).
+
+        ``{"enabled": False}`` on a learning-free server; otherwise the
+        trainer's status (state, model version, record counters, last train
+        wall time) plus what the *serving* policy currently holds — the two
+        can differ transiently between a publish and the hand-off.
+        """
+        payload = version_stamp("learn")
+        if self.trainer is None:
+            payload["enabled"] = False
+            return payload
+        payload.update(self.trainer.status())
+        payload["policy_model_version"] = self.surrogate.model_version
+        payload["policy_ready"] = self.surrogate.ready
+        payload["banked_matrices"] = (0 if self._matrix_bank is None
+                                      else len(self._matrix_bank))
+        return payload
 
     def health_snapshot(self) -> dict:
         """Liveness + queue state, the single source of every transport's

@@ -171,6 +171,81 @@ class TestConcurrentWriters:
         assert len(store) == 2
 
 
+class TestSnapshotUnderConcurrentAppend:
+    """The online trainer's contract: snapshots taken mid-append are never
+    torn, and ``reload()`` after a snapshot reports only genuinely-new
+    records."""
+
+    def test_reader_never_sees_torn_record(self, tmp_path):
+        import threading
+
+        writer = ObservationStore(tmp_path)
+        reader = ObservationStore(tmp_path)
+        n_writes = 60
+        errors: list[str] = []
+        done = threading.Event()
+
+        def write_loop():
+            try:
+                for i in range(n_writes):
+                    writer.put_record(f"fp{i % 4}", _record(0.1 + 0.01 * i))
+            finally:
+                done.set()
+
+        def read_loop():
+            while not done.is_set():
+                reader.reload()
+                for stored in list(reader):
+                    record = stored.to_record()
+                    if not record.y_values:
+                        errors.append("record with empty y_values")
+                    if not all(np.isfinite(v) for v in record.y_values):
+                        errors.append("non-finite y_values")
+                    if record.parameters.alpha <= 0:
+                        errors.append("invalid parameters")
+
+        threads = [threading.Thread(target=write_loop),
+                   threading.Thread(target=read_loop)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert reader.reload() == n_writes - len(reader)
+        assert len(reader) == n_writes
+
+    def test_snapshot_mid_append_sees_prefix_and_reload_reports_only_new(
+            self, tmp_path):
+        writer = ObservationStore(tmp_path)
+        reader = ObservationStore(tmp_path)
+        for i in range(5):
+            writer.put_record("fp1", _record(1.0 + i))
+        assert reader.reload() == 5
+        snapshot = [stored.key for stored in reader]
+        assert len(snapshot) == 5
+
+        # Simulate a torn in-flight append: a partial line without newline.
+        index = tmp_path / "index.jsonl"
+        with open(index, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "record", "fingerpr')
+        assert reader.reload() == 0          # torn tail is invisible
+        assert len(reader) == 5
+
+        # Writer completes the append cycle (its own full lines follow).
+        # Truncate the torn fragment the way the writer's crash-recovery
+        # would before appending.
+        content = index.read_text(encoding="utf-8")
+        index.write_text(content[:content.rfind("\n") + 1], encoding="utf-8")
+        writer.reload(full=True)
+        writer.put_record("fp2", _record(9.0, name="late"))
+        writer.put_record("fp2", _record(10.0, name="late"))
+        # reload() after the snapshot reports exactly the genuinely-new
+        # records, and the snapshot keys are untouched (immutable records).
+        assert reader.reload() == 2
+        assert len(reader) == 7
+        assert [stored.key for stored in reader][:5] == snapshot
+
+
 class TestIndexFormat:
     def test_index_lines_are_json_with_summary_stats(self, tmp_path):
         """The JSONL index doubles as a human-greppable summary."""

@@ -118,6 +118,83 @@ class TestWarmStart:
         assert neighbour[1] == "lap8"
 
 
+class TestDegenerateStoreWarmStart:
+    """Feature standardisation must survive degenerate stores (regression).
+
+    A store whose registered feature vectors share constant columns, contain
+    near-zero-variance columns, or carry non-finite entries used to emit NaN
+    (or overflowed) distances from the shared standardise-then-distance
+    kernel, silently breaking neighbour selection for both the tuning service
+    and the solve-server policy.
+    """
+
+    def test_constant_feature_columns_yield_finite_distances(self):
+        import numpy as np
+
+        from repro.matrices.features import nearest_feature_neighbour
+
+        # Every candidate and the target agree on the second column.
+        candidates = [np.array([1.0, 7.0, 3.0]), np.array([4.0, 7.0, 3.5])]
+        found = nearest_feature_neighbour(candidates, np.array([1.2, 7.0, 3.1]))
+        assert found is not None
+        best, distance = found
+        assert best == 0
+        assert np.isfinite(distance)
+
+    def test_near_zero_variance_column_does_not_overflow(self):
+        import numpy as np
+
+        from repro.matrices.features import nearest_feature_neighbour
+
+        # Denormal-scale jitter in one column: dividing by its std would
+        # amplify rounding noise by ~1e300 and swamp every real feature.
+        candidates = [np.array([1.0, 1e-300]), np.array([5.0, 3e-300])]
+        found = nearest_feature_neighbour(candidates, np.array([1.1, 2e-300]))
+        assert found is not None
+        best, distance = found
+        assert best == 0
+        assert np.isfinite(distance)
+
+    def test_non_finite_feature_entries_do_not_poison_distances(self):
+        import numpy as np
+
+        from repro.matrices.features import nearest_feature_neighbour
+
+        # One corrupt candidate with an inf feature: inf - mean(inf) = NaN
+        # used to propagate into *every* distance via the shared column std.
+        candidates = [np.array([1.0, np.inf]), np.array([2.0, np.inf])]
+        found = nearest_feature_neighbour(candidates, np.array([1.4, np.inf]))
+        assert found is not None
+        best, distance = found
+        assert best == 0
+        assert np.isfinite(distance)
+
+    def test_service_warm_start_with_degenerate_registered_features(
+            self, service, small_spd):
+        import numpy as np
+
+        # A store seeded with one healthy matrix plus one whose persisted
+        # feature vector is corrupt (NaN) must still warm-start from the
+        # healthy neighbour with a finite distance.
+        service.tune_batch([TuningRequest(matrix=small_spd, name="lap8",
+                                          budget=2, n_replications=1, seed=0)])
+        corrupt = pdd_real_sparse(30, density=0.2, dominance=2.0, seed=3)
+        corrupt_fp = matrix_fingerprint(corrupt)
+        service.store.register_matrix(
+            corrupt_fp, "corrupt", features=np.full(14, np.nan))
+        # Give the corrupt entry a record so it enters the neighbour pool.
+        [corrupt_result] = service.tune_batch([TuningRequest(
+            matrix=corrupt, name="corrupt", budget=1, n_replications=1,
+            seed=0)])
+        assert corrupt_result.measurements >= 0
+        neighbour = service._nearest_neighbour(
+            laplacian_2d(9), matrix_fingerprint(laplacian_2d(9)))
+        assert neighbour is not None
+        fingerprint, name, distance = neighbour
+        assert np.isfinite(distance)
+        assert name == "lap8"
+
+
 class TestBatchExecution:
     def test_thread_executor_batch(self, tmp_path, settings, small_spd):
         service = TuningService(tmp_path / "store",
